@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Benchmarks run the paper's experiments at a reduced transaction count (the
+full 10,000-transaction scale is available through ``python -m repro.bench``)
+with the calibrated cost model and the light topology — §7.2 measures peer
+internals, and every peer does identical work, so a single observed peer
+yields the same metrics.
+
+Each benchmark both *times* the run (pytest-benchmark) and *asserts* the
+qualitative findings of the corresponding figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.calibration import calibrated_cost_model
+from repro.bench.experiments import ExperimentScale
+
+#: Transactions per run in benchmark mode (paper: 10,000).
+BENCH_TRANSACTIONS = 1000
+
+
+@pytest.fixture(scope="session")
+def cost_model():
+    return calibrated_cost_model()
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return ExperimentScale(transactions=BENCH_TRANSACTIONS, light_topology=True)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    A full workload run is deterministic and expensive; repetition would
+    only re-measure the same virtual experiment.
+    """
+
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,68 @@
+"""Figure 3 — effect of the block size (Table 1 workload).
+
+Paper series (revised): FabricCRDT throughput falls from 267 tx/s at 25
+txs/block to ~20 tx/s at 1000, while vanilla Fabric commits almost nothing
+(all transactions conflict).  Each benchmark regenerates one sweep point.
+"""
+
+import pytest
+
+from repro.bench.experiments import figure3
+from repro.workload.caliper import run_workload
+from repro.workload.spec import table1_spec
+
+from conftest import BENCH_TRANSACTIONS, run_once
+
+BLOCK_SIZES = (25, 100, 400, 1000)
+
+
+def _config(scale, block_size, crdt_enabled):
+    from repro.bench.experiments import _network_config
+
+    return _network_config(scale, block_size, crdt_enabled)
+
+
+@pytest.mark.parametrize("block_size", BLOCK_SIZES)
+def test_fig3_fabriccrdt(benchmark, block_size, scale, cost_model):
+    spec = table1_spec(total_transactions=BENCH_TRANSACTIONS, seed=7)
+
+    result = run_once(
+        benchmark,
+        lambda: run_workload(spec, _config(scale, block_size, True), cost=cost_model),
+    )
+    benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 1)
+    benchmark.extra_info["avg_latency_s"] = round(result.avg_latency_s, 2)
+    benchmark.extra_info["successful"] = result.successful
+    # Figure 3(c): FabricCRDT successfully commits all submitted transactions.
+    assert result.successful == BENCH_TRANSACTIONS
+    assert result.failed == 0
+
+
+@pytest.mark.parametrize("block_size", (25, 400))
+def test_fig3_fabric(benchmark, block_size, scale, cost_model):
+    spec = table1_spec(total_transactions=BENCH_TRANSACTIONS, seed=7).with_crdt(False)
+
+    result = run_once(
+        benchmark,
+        lambda: run_workload(spec, _config(scale, block_size, False), cost=cost_model),
+    )
+    benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 2)
+    benchmark.extra_info["successful"] = result.successful
+    # Figure 3(c): vanilla Fabric commits only a handful of the conflicting
+    # transactions (one per endorse-to-commit window).
+    assert result.successful < BENCH_TRANSACTIONS * 0.1
+    assert result.failure_codes.get("MVCC_READ_CONFLICT", 0) > BENCH_TRANSACTIONS * 0.9
+
+
+def test_fig3_throughput_monotonically_decreases(benchmark, scale, cost_model):
+    """The headline shape of Figure 3(a), regenerated as one sweep."""
+
+    result = run_once(
+        benchmark,
+        lambda: figure3(scale, block_sizes=(25, 100, 400), cost=cost_model),
+    )
+    tps = [result.crdt[size].throughput_tps for size in (25, 100, 400)]
+    assert tps[0] > tps[1] > tps[2]
+    latencies = [result.crdt[size].avg_latency_s for size in (25, 100, 400)]
+    assert latencies[0] < latencies[1] < latencies[2]
+    benchmark.extra_info["crdt_tps_series"] = [round(t, 1) for t in tps]

@@ -1,0 +1,67 @@
+"""Figure 4 — number of read/write keys per transaction (Table 2 workload).
+
+Paper series: FabricCRDT throughput 264 (1R-1W) down to 106 (5R-5W); vanilla
+Fabric commits almost nothing at any setting (all transactions conflict).
+"""
+
+import pytest
+
+from repro.bench.experiments import CRDT_BLOCK_SIZE, FABRIC_BLOCK_SIZE, _network_config
+from repro.workload.caliper import run_workload
+from repro.workload.spec import table2_spec
+
+from conftest import BENCH_TRANSACTIONS, run_once
+
+READ_WRITE = ((1, 1), (3, 3), (5, 1), (5, 5))
+
+
+@pytest.mark.parametrize("reads,writes", READ_WRITE)
+def test_fig4_fabriccrdt(benchmark, reads, writes, scale, cost_model):
+    spec = table2_spec(reads, writes, total_transactions=BENCH_TRANSACTIONS, seed=7)
+    result = run_once(
+        benchmark,
+        lambda: run_workload(
+            spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
+        ),
+    )
+    benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 1)
+    benchmark.extra_info["avg_latency_s"] = round(result.avg_latency_s, 2)
+    assert result.successful == BENCH_TRANSACTIONS
+
+
+@pytest.mark.parametrize("reads,writes", ((1, 1), (5, 5)))
+def test_fig4_fabric(benchmark, reads, writes, scale, cost_model):
+    spec = table2_spec(
+        reads, writes, total_transactions=BENCH_TRANSACTIONS, seed=7
+    ).with_crdt(False)
+    result = run_once(
+        benchmark,
+        lambda: run_workload(
+            spec, _network_config(scale, FABRIC_BLOCK_SIZE, False), cost=cost_model
+        ),
+    )
+    benchmark.extra_info["successful"] = result.successful
+    assert result.successful < BENCH_TRANSACTIONS * 0.1
+
+
+def test_fig4_more_writes_lower_throughput(benchmark, scale, cost_model):
+    """Figure 4(a)'s shape: throughput decreases as the write-set grows."""
+
+    def sweep():
+        points = {}
+        for reads, writes in ((1, 1), (3, 3), (5, 5)):
+            spec = table2_spec(reads, writes, total_transactions=BENCH_TRANSACTIONS, seed=7)
+            points[(reads, writes)] = run_workload(
+                spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
+            )
+        return points
+
+    points = run_once(benchmark, sweep)
+    assert (
+        points[(1, 1)].throughput_tps
+        > points[(3, 3)].throughput_tps
+        > points[(5, 5)].throughput_tps
+    )
+    benchmark.extra_info["series"] = {
+        str(k): round(v.throughput_tps, 1) for k, v in points.items()
+    }

@@ -1,0 +1,71 @@
+"""Figure 5 — complexity of the JSON objects (Table 3 workload).
+
+Paper series: FabricCRDT throughput 219 (2 keys, depth 2) down to 100
+(6 keys, depth 6); vanilla Fabric does not touch JSON content, so its
+numbers are flat (and near zero: all transactions conflict).
+"""
+
+import pytest
+
+from repro.bench.experiments import CRDT_BLOCK_SIZE, FABRIC_BLOCK_SIZE, _network_config
+from repro.workload.caliper import run_workload
+from repro.workload.spec import table3_spec
+
+from conftest import BENCH_TRANSACTIONS, run_once
+
+COMPLEXITY = ((2, 2), (4, 4), (6, 6))
+
+
+@pytest.mark.parametrize("keys,depth", COMPLEXITY)
+def test_fig5_fabriccrdt(benchmark, keys, depth, scale, cost_model):
+    spec = table3_spec(keys, depth, total_transactions=BENCH_TRANSACTIONS, seed=7)
+    result = run_once(
+        benchmark,
+        lambda: run_workload(
+            spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
+        ),
+    )
+    benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 1)
+    benchmark.extra_info["merge_ops"] = result.merge_ops
+    assert result.successful == BENCH_TRANSACTIONS
+
+
+def test_fig5_fabric_insensitive_to_complexity(benchmark, scale, cost_model):
+    """Figure 5: 'Fabric does not interact with the content of the JSON
+    objects' — its commit cost must not grow with complexity."""
+
+    def sweep():
+        results = {}
+        for keys, depth in ((2, 2), (6, 6)):
+            spec = table3_spec(
+                keys, depth, total_transactions=BENCH_TRANSACTIONS, seed=7
+            ).with_crdt(False)
+            results[(keys, depth)] = run_workload(
+                spec, _network_config(scale, FABRIC_BLOCK_SIZE, False), cost=cost_model
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    simple, complex_ = results[(2, 2)], results[(6, 6)]
+    assert simple.merge_ops == complex_.merge_ops == 0
+    # Durations within 25% of each other: complexity does not affect Fabric.
+    assert abs(simple.duration_s - complex_.duration_s) / simple.duration_s < 0.25
+
+
+def test_fig5_complexity_degrades_crdt_throughput(benchmark, scale, cost_model):
+    def sweep():
+        results = {}
+        for keys, depth in COMPLEXITY:
+            spec = table3_spec(keys, depth, total_transactions=BENCH_TRANSACTIONS, seed=7)
+            results[(keys, depth)] = run_workload(
+                spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    tps = [results[c].throughput_tps for c in COMPLEXITY]
+    assert tps[0] > tps[1] > tps[2]
+    # Merge work grows with complexity — the mechanism behind the slowdown.
+    ops = [results[c].merge_ops for c in COMPLEXITY]
+    assert ops[0] < ops[1] < ops[2]
+    benchmark.extra_info["tps_series"] = [round(t, 1) for t in tps]

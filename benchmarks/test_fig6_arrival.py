@@ -1,0 +1,71 @@
+"""Figure 6 — transaction arrival rate (Table 4 workload).
+
+Paper series: FabricCRDT throughput tracks the arrival rate up to a
+saturation point around 250 tx/s (100→100, 200→200, 300→241, 400→264,
+500→250) while latency grows once the offered load exceeds capacity.
+"""
+
+import pytest
+
+from repro.bench.experiments import CRDT_BLOCK_SIZE, FABRIC_BLOCK_SIZE, _network_config
+from repro.workload.caliper import run_workload
+from repro.workload.spec import table4_spec
+
+from conftest import BENCH_TRANSACTIONS, run_once
+
+RATES = (100, 300, 500)
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_fig6_fabriccrdt(benchmark, rate, scale, cost_model):
+    spec = table4_spec(float(rate), total_transactions=BENCH_TRANSACTIONS, seed=7)
+    result = run_once(
+        benchmark,
+        lambda: run_workload(
+            spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
+        ),
+    )
+    benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 1)
+    benchmark.extra_info["avg_latency_s"] = round(result.avg_latency_s, 2)
+    assert result.successful == BENCH_TRANSACTIONS
+
+
+def test_fig6_saturation_knee(benchmark, scale, cost_model):
+    """Below capacity, throughput == offered rate; above, it saturates and
+    latency grows with queueing."""
+
+    def sweep():
+        return {
+            rate: run_workload(
+                table4_spec(float(rate), total_transactions=BENCH_TRANSACTIONS, seed=7),
+                _network_config(scale, CRDT_BLOCK_SIZE, True),
+                cost=cost_model,
+            )
+            for rate in RATES
+        }
+
+    results = run_once(benchmark, sweep)
+    assert results[100].throughput_tps == pytest.approx(100, rel=0.15)
+    assert results[500].throughput_tps < 320  # saturated well below 500
+    assert results[500].avg_latency_s > results[100].avg_latency_s
+    benchmark.extra_info["tps_series"] = {
+        rate: round(results[rate].throughput_tps, 1) for rate in RATES
+    }
+
+
+def test_fig6_fabric_low_success_at_all_rates(benchmark, scale, cost_model):
+    def sweep():
+        return {
+            rate: run_workload(
+                table4_spec(
+                    float(rate), total_transactions=BENCH_TRANSACTIONS, seed=7
+                ).with_crdt(False),
+                _network_config(scale, FABRIC_BLOCK_SIZE, False),
+                cost=cost_model,
+            )
+            for rate in (100, 500)
+        }
+
+    results = run_once(benchmark, sweep)
+    for result in results.values():
+        assert result.successful < BENCH_TRANSACTIONS * 0.1

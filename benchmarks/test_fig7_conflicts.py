@@ -1,0 +1,76 @@
+"""Figure 7 — percentage of conflicting transactions (Table 5 workload).
+
+Paper series: at 0 % conflicts the systems are comparable (Fabric 222.6 vs
+FabricCRDT 240 tx/s); as the conflicting share grows, Fabric's successful
+throughput collapses (52.4 tx/s and 2085/10000 successes at 80 %) while
+FabricCRDT stays flat with zero failures.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    CRDT_BLOCK_SIZE,
+    FABRIC_BLOCK_SIZE,
+    PAPER_FIG7_FABRIC_SUCCESS,
+    _network_config,
+)
+from repro.workload.caliper import run_workload
+from repro.workload.spec import table5_spec
+
+from conftest import BENCH_TRANSACTIONS, run_once
+
+CONFLICT_PCT = (0, 40, 80)
+
+
+@pytest.mark.parametrize("pct", CONFLICT_PCT)
+def test_fig7_fabriccrdt_never_fails(benchmark, pct, scale, cost_model):
+    spec = table5_spec(float(pct), total_transactions=BENCH_TRANSACTIONS, seed=7)
+    result = run_once(
+        benchmark,
+        lambda: run_workload(
+            spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
+        ),
+    )
+    benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 1)
+    assert result.successful == BENCH_TRANSACTIONS
+    assert result.failed == 0
+
+
+@pytest.mark.parametrize("pct", CONFLICT_PCT)
+def test_fig7_fabric_success_tracks_conflict_share(benchmark, pct, scale, cost_model):
+    spec = table5_spec(
+        float(pct), total_transactions=BENCH_TRANSACTIONS, seed=7
+    ).with_crdt(False)
+    result = run_once(
+        benchmark,
+        lambda: run_workload(
+            spec, _network_config(scale, FABRIC_BLOCK_SIZE, False), cost=cost_model
+        ),
+    )
+    benchmark.extra_info["successful"] = result.successful
+    # Figure 7(c): non-conflicting transactions commit; conflicting ones
+    # almost all fail.  Paper at full scale: 10000 / 5973 / 2085.
+    expected_fraction = 1.0 - pct / 100.0
+    observed_fraction = result.successful / BENCH_TRANSACTIONS
+    assert observed_fraction == pytest.approx(expected_fraction, abs=0.08)
+    paper_fraction = PAPER_FIG7_FABRIC_SUCCESS[pct] / 10000
+    assert observed_fraction == pytest.approx(paper_fraction, abs=0.12)
+
+
+def test_fig7_fabric_throughput_declines_with_conflicts(benchmark, scale, cost_model):
+    def sweep():
+        return {
+            pct: run_workload(
+                table5_spec(
+                    float(pct), total_transactions=BENCH_TRANSACTIONS, seed=7
+                ).with_crdt(False),
+                _network_config(scale, FABRIC_BLOCK_SIZE, False),
+                cost=cost_model,
+            )
+            for pct in CONFLICT_PCT
+        }
+
+    results = run_once(benchmark, sweep)
+    tps = [results[pct].throughput_tps for pct in CONFLICT_PCT]
+    assert tps[0] > tps[1] > tps[2]
+    benchmark.extra_info["fabric_tps_series"] = [round(t, 1) for t in tps]

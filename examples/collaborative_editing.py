@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Collaborative document editing on FabricCRDT (paper §6, use case 1).
+
+A shared document lives under one ledger key as a JSON object.  Authors
+edit *concurrently* — their transactions are endorsed against the same
+committed snapshot, so on vanilla Fabric all but one edit per block would
+fail.  On FabricCRDT every edit commits and the JSON CRDT merges them:
+nobody redoes work, no edit is lost.
+
+Data-modelling note (the JSON-CRDT idiom): *named* collections are maps —
+map keys merge recursively, so two authors touching the section "Intro"
+land in the *same* section.  *Streams* of contributions are lists — list
+items accumulate.  Here ``sections`` is a map keyed by heading, and each
+section's ``paragraphs`` is a list.
+
+Run:  python examples/collaborative_editing.py
+"""
+
+from repro import Chaincode, ShimStub
+from repro.common.config import CRDTConfig, NetworkConfig, OrdererConfig
+from repro.common.types import Json
+from repro.core.network import crdt_network
+
+
+class DocsChaincode(Chaincode):
+    name = "docs"
+
+    def fn_create(self, stub: ShimStub, doc_id: str, title: str) -> Json:
+        stub.put_state(f"doc/{doc_id}", {"title": title, "sections": {}})
+        return {"created": doc_id}
+
+    def fn_add_section(self, stub: ShimStub, doc_id: str, section: str,
+                       author: str) -> Json:
+        stub.get_state(f"doc/{doc_id}")
+        stub.put_crdt(
+            f"doc/{doc_id}",
+            {"sections": {section: {"by": author, "paragraphs": []}}},
+        )
+        return {"added": section}
+
+    def fn_write_paragraph(self, stub: ShimStub, doc_id: str, section: str,
+                           text: str, author: str) -> Json:
+        stub.get_state(f"doc/{doc_id}")
+        stub.put_crdt(
+            f"doc/{doc_id}",
+            {"sections": {section: {"paragraphs": [f"{text} —{author}"]}}},
+        )
+        return {"wrote": section}
+
+    def fn_read(self, stub: ShimStub, doc_id: str) -> Json:
+        return stub.get_state(f"doc/{doc_id}")
+
+
+def main() -> None:
+    config = NetworkConfig(
+        orderer=OrdererConfig(max_message_count=50),
+        crdt=CRDTConfig(seed_from_state=True),  # edits accumulate across blocks
+        crdt_enabled=True,
+    )
+    network = crdt_network(config)
+    network.deploy(DocsChaincode())
+
+    network.invoke("docs", "create", ["paper", "FabricCRDT, Reproduced"])
+    network.flush()
+
+    # Round 1: two authors add sections *concurrently* (same block).
+    network.invoke("docs", "add_section", ["paper", "Introduction", "alice"], client_index=0)
+    network.invoke("docs", "add_section", ["paper", "Evaluation", "bob"], client_index=1)
+    network.flush()
+
+    # Round 2: three concurrent paragraph edits, two to the same section.
+    network.invoke(
+        "docs", "write_paragraph",
+        ["paper", "Introduction", "Blockchains conflict under concurrency.", "alice"],
+        client_index=0,
+    )
+    network.invoke(
+        "docs", "write_paragraph",
+        ["paper", "Introduction", "CRDTs merge concurrent updates.", "carol"],
+        client_index=2,
+    )
+    network.invoke(
+        "docs", "write_paragraph",
+        ["paper", "Evaluation", "All transactions commit successfully.", "bob"],
+        client_index=1,
+    )
+    network.flush()
+
+    assert network.failure_count() == 0, "no author ever has to resubmit"
+
+    document = network.query("docs", "read", ["paper"])
+    print(f"# {document['title']}\n")
+    total_paragraphs = 0
+    for heading in sorted(document["sections"]):
+        section = document["sections"][heading]
+        print(f"## {heading}  (created by {section.get('by', '?')})")
+        for paragraph in section.get("paragraphs", []):
+            print(f"   {paragraph}")
+            total_paragraphs += 1
+        print()
+    assert set(document["sections"]) == {"Introduction", "Evaluation"}
+    assert len(document["sections"]["Introduction"]["paragraphs"]) == 2
+    assert total_paragraphs == 3, "every concurrent edit survived the merge"
+    network.assert_states_converged()
+    print("zero failed transactions; all edits merged; peers converged ✔")
+
+
+if __name__ == "__main__":
+    main()

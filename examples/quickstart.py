@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: FabricCRDT vs vanilla Fabric in sixty lines.
+
+Builds both networks, submits five *conflicting* transactions (all reading
+and writing the same key before any block commits), and shows:
+
+* vanilla Fabric commits exactly one and rejects the rest (MVCC conflicts);
+* FabricCRDT merges all five into one converged JSON value, zero failures.
+
+Run:  python examples/quickstart.py
+"""
+
+import json
+
+from repro import ValidationCode, crdt_network, fabric_config, fabriccrdt_config, vanilla_network
+from repro.workload.iot import IoTChaincode, encode_call, reading_payload
+
+
+def submit_conflicting_batch(network, crdt: bool) -> list[str]:
+    """Populate one device key, then submit 5 concurrent read-modify-writes."""
+
+    network.invoke("iot", "populate", [json.dumps({"keys": ["device-1"]})])
+    network.flush()  # commit the populate block
+
+    tx_ids = []
+    for i in range(5):
+        call = encode_call(
+            read_keys=["device-1"],
+            write_keys=["device-1"],
+            payload=reading_payload("device-1", temperature=20 + i, sequence=i),
+            crdt=crdt,
+        )
+        tx_ids.append(network.invoke("iot", "record", [call]))
+    network.flush()  # cut and commit the block holding all five
+    return tx_ids
+
+
+def show(network, tx_ids, title):
+    print(f"--- {title} ---")
+    for tx_id in tx_ids:
+        code = network.status_of(tx_id)
+        print(f"  tx {tx_id[:8]}…  {code.name}")
+    state = network.state_of("device-1")
+    readings = state["tempReadings"]
+    print(f"  committed readings: {[r['temperature'] for r in readings]}")
+    valid = sum(1 for t in tx_ids if network.status_of(t) is ValidationCode.VALID)
+    print(f"  {valid}/5 transactions committed successfully\n")
+
+
+def main() -> None:
+    fabric = vanilla_network(fabric_config(max_message_count=400))
+    fabric.deploy(IoTChaincode())
+    fabric_txs = submit_conflicting_batch(fabric, crdt=False)
+    show(fabric, fabric_txs, "vanilla Fabric (MVCC validation)")
+
+    fabriccrdt = crdt_network(fabriccrdt_config(max_message_count=25))
+    fabriccrdt.deploy(IoTChaincode())
+    crdt_txs = submit_conflicting_batch(fabriccrdt, crdt=True)
+    show(fabriccrdt, crdt_txs, "FabricCRDT (CRDT merge)")
+
+    fabriccrdt.assert_states_converged()
+    print("all FabricCRDT peers hold byte-identical world states ✔")
+    print("next: regenerate the paper's figures with  python -m repro.bench fig3")
+
+
+if __name__ == "__main__":
+    main()

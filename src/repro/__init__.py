@@ -1,0 +1,60 @@
+"""FabricCRDT reproduction — CRDT-merged transactions for permissioned blockchains.
+
+Reproduces *FabricCRDT: A Conflict-Free Replicated Datatypes Approach to
+Permissioned Blockchains* (Middleware '19).  The package provides:
+
+* :mod:`repro.fabric` — a from-scratch Hyperledger Fabric substrate
+  (execute-order-validate, MVCC, endorsement policies, block cutting);
+* :mod:`repro.crdt` — a CRDT library, including the op-based JSON CRDT the
+  paper builds on;
+* :mod:`repro.core` — FabricCRDT itself (Algorithms 1 and 2, the CRDT peer);
+* :mod:`repro.sim` — the discrete-event kernel behind the timed experiments;
+* :mod:`repro.workload` / :mod:`repro.bench` — the Caliper-equivalent driver
+  and one experiment definition per figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import crdt_network, fabriccrdt_config
+    from repro.workload.iot import IoTChaincode
+
+    network = crdt_network(fabriccrdt_config(max_message_count=25))
+    network.deploy(IoTChaincode())
+    network.invoke("iot", "record", [...])
+"""
+
+from .common.config import (
+    CRDTConfig,
+    NetworkConfig,
+    OrdererConfig,
+    TopologyConfig,
+    fabric_config,
+    fabriccrdt_config,
+)
+from .common.types import TxStatus, ValidationCode, Version
+from .core.network import crdt_network, vanilla_network
+from .core.peer import CRDTPeer
+from .fabric.chaincode import Chaincode, ShimStub
+from .fabric.localnet import LocalNetwork
+from .fabric.peer import Peer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CRDTConfig",
+    "NetworkConfig",
+    "OrdererConfig",
+    "TopologyConfig",
+    "fabric_config",
+    "fabriccrdt_config",
+    "ValidationCode",
+    "Version",
+    "TxStatus",
+    "crdt_network",
+    "vanilla_network",
+    "CRDTPeer",
+    "Peer",
+    "LocalNetwork",
+    "Chaincode",
+    "ShimStub",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Experiment definitions: one function per figure, plus calibration."""
+
+from .calibration import (
+    MergeWorkSample,
+    calibrated_cost_model,
+    calibration_report,
+    measure_merge_work,
+)
+from .experiments import (
+    CRDT_BLOCK_SIZE,
+    FABRIC_BLOCK_SIZE,
+    FIG3_BLOCK_SIZES,
+    FIG4_READ_WRITE,
+    FIG5_COMPLEXITY,
+    FIG6_RATES,
+    FIG7_CONFLICT_PCT,
+    FIGURES,
+    ExperimentScale,
+    FigureResult,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+)
+
+__all__ = [
+    "calibrated_cost_model",
+    "calibration_report",
+    "measure_merge_work",
+    "MergeWorkSample",
+    "ExperimentScale",
+    "FigureResult",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "FIGURES",
+    "FIG3_BLOCK_SIZES",
+    "FIG4_READ_WRITE",
+    "FIG5_COMPLEXITY",
+    "FIG6_RATES",
+    "FIG7_CONFLICT_PCT",
+    "CRDT_BLOCK_SIZE",
+    "FABRIC_BLOCK_SIZE",
+]

@@ -1,0 +1,77 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro.bench fig3              # full scale (10,000 txs/run)
+    python -m repro.bench fig7 --transactions 2000
+    python -m repro.bench all --transactions 1000 --json results.json
+    python -m repro.bench calibration       # print the fitted constants
+
+Full-scale runs take minutes (Figure 3's 1000-tx blocks do real quadratic
+merge work); scaled-down runs preserve the qualitative shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from .calibration import calibration_report
+from .experiments import FIGURES, ExperimentScale
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the FabricCRDT paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "target",
+        choices=[*FIGURES.keys(), "all", "calibration"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=10000,
+        help="transactions per run (paper: 10000)",
+    )
+    parser.add_argument(
+        "--full-topology",
+        action="store_true",
+        help="use the paper's 3-orgs x 2-peers topology (slower, same metrics)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="network seed")
+    parser.add_argument("--json", metavar="PATH", help="also dump rows as JSON")
+    args = parser.parse_args(argv)
+
+    if args.target == "calibration":
+        print(json.dumps(calibration_report(), indent=2))
+        return 0
+
+    scale = ExperimentScale(
+        transactions=args.transactions,
+        light_topology=not args.full_topology,
+        seed=args.seed,
+    )
+    targets = list(FIGURES) if args.target == "all" else [args.target]
+    dump: dict[str, list[dict]] = {}
+    for name in targets:
+        started = time.time()
+        result = FIGURES[name](scale)
+        elapsed = time.time() - started
+        print(result.format())
+        print(f"[{name}: {elapsed:.1f}s wall clock, {args.transactions} txs/run]")
+        print()
+        dump[name] = result.comparison_rows()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(dump, handle, indent=2, default=str)
+        print(f"rows written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

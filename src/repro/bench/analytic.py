@@ -1,0 +1,129 @@
+"""Closed-form performance model — a fast cross-check of the simulator.
+
+For commit- or endorsement-bound configurations the steady-state behaviour
+of the pipeline has a simple closed form:
+
+* block service time  ``T(B) = commit_time(work(B))`` with the merge work
+  measured by actually running Algorithm 1 on a synthetic block;
+* system throughput   ``min(arrival rate, endorsement capacity, B / T(B))``;
+* average latency     queue-growth deficit over the run plus the pipeline
+  base latency (endorsement + half the block fill time + commit).
+
+The analytic model shares the *constants* with the simulator but none of its
+mechanics, so agreement between the two (see
+``benchmarks/test_analytic_model.py``) is a meaningful consistency check —
+and disagreement localizes bugs to either the queueing dynamics or the cost
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..fabric.costmodel import CostModel
+from ..fabric.peer import CommitWork
+from .calibration import calibrated_cost_model, measure_merge_work
+
+
+@dataclass(frozen=True)
+class PredictedPoint:
+    """Analytic prediction for one configuration."""
+
+    block_size: int
+    block_time_s: float
+    throughput_tps: float
+    avg_latency_s: float
+    bottleneck: str  # "arrival" | "endorsement" | "commit"
+
+
+def block_commit_time(
+    block_size: int,
+    cost: CostModel,
+    json_keys: int = 2,
+    nesting_depth: int = 1,
+    distinct_keys: int = 1,
+) -> float:
+    """Predicted commit service time of one all-conflicting block."""
+
+    sample = measure_merge_work(block_size, json_keys, nesting_depth)
+    work = CommitWork(
+        tx_count=block_size,
+        vscc_checks=block_size,
+        mvcc_reads=0,  # CRDT transactions skip MVCC
+        writes_applied=block_size,
+        distinct_keys_written=distinct_keys,
+        bytes_written=sample.bytes_written_total(),
+        merge_ops=sample.ops,
+        merge_scan_steps=sample.scan_steps,
+    )
+    return cost.commit_time(work)
+
+
+def predict_point(
+    block_size: int,
+    arrival_tps: float = 300.0,
+    total_transactions: int = 10000,
+    cost: Optional[CostModel] = None,
+    json_keys: int = 2,
+    nesting_depth: int = 1,
+    reads: int = 1,
+    writes: int = 1,
+) -> PredictedPoint:
+    """Analytic throughput/latency for one FabricCRDT configuration.
+
+    The effective block size is capped by what the batch timeout lets
+    accumulate at the offered rate (the flattening visible in Figure 3
+    beyond ~600 txs/block with the paper's 2 s timeout).
+    """
+
+    cost = cost if cost is not None else calibrated_cost_model()
+    timeout_cap = max(1, int(arrival_tps * 2.0))  # batch_timeout_s = 2 s
+    effective_block = min(block_size, timeout_cap)
+
+    block_time = block_commit_time(effective_block, cost, json_keys, nesting_depth)
+    commit_cap = effective_block / block_time
+    endorse_cap = cost.endorsement_capacity_tps(reads, writes)
+    throughput = min(arrival_tps, endorse_cap, commit_cap)
+
+    if throughput >= arrival_tps * 0.999:
+        bottleneck = "arrival"
+    elif commit_cap <= endorse_cap:
+        bottleneck = "commit"
+    else:
+        bottleneck = "endorsement"
+
+    # Latency: base pipeline latency plus the average queueing delay of an
+    # overloaded run (deficit grows linearly: average is half the final).
+    base = (
+        cost.endorse_time(reads, writes)
+        + (effective_block / arrival_tps) / 2.0
+        + block_time
+    )
+    if throughput < arrival_tps:
+        run_span = total_transactions / throughput
+        submit_span = total_transactions / arrival_tps
+        queue_delay = max(0.0, (run_span - submit_span)) / 2.0
+    else:
+        queue_delay = 0.0
+    return PredictedPoint(
+        block_size=block_size,
+        block_time_s=block_time,
+        throughput_tps=throughput,
+        avg_latency_s=base + queue_delay,
+        bottleneck=bottleneck,
+    )
+
+
+def predict_figure3(
+    block_sizes: Sequence[int] = (25, 50, 100, 200, 300, 400, 600, 800, 1000),
+    arrival_tps: float = 300.0,
+    total_transactions: int = 10000,
+    cost: Optional[CostModel] = None,
+) -> dict[int, PredictedPoint]:
+    """Analytic FabricCRDT series for Figure 3."""
+
+    return {
+        size: predict_point(size, arrival_tps, total_transactions, cost)
+        for size in block_sizes
+    }

@@ -1,0 +1,315 @@
+"""One experiment definition per figure of the paper's evaluation (§7).
+
+Each ``figureN`` function sweeps the paper's parameter, runs FabricCRDT and
+vanilla Fabric through the Caliper-equivalent driver on the calibrated cost
+model, and returns a :class:`FigureResult` whose ``format()`` mirrors the
+figure's three panels.  ``PAPER_*`` dictionaries hold the published numbers
+(the *revised* arXiv figures) so EXPERIMENTS.md can print paper-vs-measured
+tables.
+
+Scaling: the paper submits 10,000 transactions per run.  All functions take
+``transactions`` so CI-scale runs stay fast; `python -m repro.bench` defaults
+to full scale.  ``light_topology`` collapses the network to one org / one
+peer — metrics are taken from a single peer either way (§7.2 studies peer
+internals; every peer does identical work), so this only saves wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..common.config import (
+    CRDTConfig,
+    NetworkConfig,
+    OrdererConfig,
+    TopologyConfig,
+)
+from ..fabric.costmodel import CostModel
+from ..workload.caliper import run_workload
+from ..workload.metrics import BenchmarkResult
+from ..workload.report import format_figure
+from ..workload.spec import (
+    WorkloadSpec,
+    table1_spec,
+    table2_spec,
+    table3_spec,
+    table4_spec,
+    table5_spec,
+)
+from .calibration import calibrated_cost_model
+
+#: The paper's "best configuration" block sizes fixed after Figure 3 (§7.3).
+CRDT_BLOCK_SIZE = 25
+FABRIC_BLOCK_SIZE = 400
+
+FIG3_BLOCK_SIZES = (25, 50, 100, 200, 300, 400, 600, 800, 1000)
+FIG4_READ_WRITE = ((1, 1), (3, 1), (3, 3), (5, 1), (5, 3), (5, 5))
+FIG5_COMPLEXITY = ((2, 2), (3, 3), (4, 4), (5, 5), (6, 6))
+FIG6_RATES = (100, 200, 300, 400, 500)
+FIG7_CONFLICT_PCT = (0, 20, 40, 60, 80)
+
+# -- published numbers (revised arXiv version), for paper-vs-measured tables --
+
+PAPER_FIG3_CRDT_TPS = {25: 267, 50: 246, 100: 217, 200: 106, 300: 58,
+                       400: 41.5, 600: 20, 800: 19, 1000: 20}
+PAPER_FIG3_FABRIC_TPS = {25: 0.6, 50: 0.7, 100: 0.4, 200: 0.9, 300: 1.4,
+                         400: 1.4, 600: 1.1, 800: 1.5, 1000: 1.1}
+PAPER_FIG3_CRDT_LATENCY = {25: 2.8, 50: 4.8, 100: 8.3, 200: 34, 300: 75,
+                           400: 111, 600: 257, 800: 265, 1000: 264}
+PAPER_FIG4_CRDT_TPS = {(1, 1): 264, (3, 1): 205, (3, 3): 157,
+                       (5, 1): 189, (5, 3): 135, (5, 5): 106}
+PAPER_FIG5_CRDT_TPS = {(2, 2): 219, (3, 3): 198, (4, 4): 152,
+                       (5, 5): 120, (6, 6): 100}
+PAPER_FIG6_CRDT_TPS = {100: 100, 200: 200, 300: 241, 400: 264, 500: 250}
+PAPER_FIG7_CRDT_TPS = {0: 240, 20: 240, 40: 234, 60: 240, 80: 215}
+PAPER_FIG7_FABRIC_TPS = {0: 222.6, 20: 229.3, 40: 160, 60: 110.2, 80: 52.4}
+PAPER_FIG7_FABRIC_SUCCESS = {0: 10000, 20: 8065, 40: 5973, 60: 4051, 80: 2085}
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big to run: transaction count and topology."""
+
+    transactions: int = 10000
+    light_topology: bool = True
+    seed: int = 0
+
+    def topology(self) -> TopologyConfig:
+        if self.light_topology:
+            return TopologyConfig(num_orgs=1, peers_per_org=1)
+        return TopologyConfig()
+
+
+@dataclass
+class FigureResult:
+    """Results of one figure's sweep, plus the paper's reference numbers."""
+
+    figure: str
+    sweep_label: str
+    sweep_values: tuple
+    crdt: dict = field(default_factory=dict)
+    fabric: dict = field(default_factory=dict)
+    paper_crdt_tps: dict = field(default_factory=dict)
+    paper_fabric_tps: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        return format_figure(
+            self.figure, self.sweep_label, self.sweep_values, self.crdt, self.fabric
+        )
+
+    def comparison_rows(self) -> list[dict]:
+        """Paper-vs-measured throughput rows for EXPERIMENTS.md."""
+
+        rows = []
+        for value in self.sweep_values:
+            crdt = self.crdt.get(value)
+            fabric = self.fabric.get(value)
+            rows.append(
+                {
+                    "sweep": value,
+                    "crdt_paper_tps": self.paper_crdt_tps.get(value),
+                    "crdt_measured_tps": round(crdt.throughput_tps, 1) if crdt else None,
+                    "crdt_measured_latency_s": round(crdt.avg_latency_s, 1) if crdt else None,
+                    "crdt_successful": crdt.successful if crdt else None,
+                    "fabric_paper_tps": self.paper_fabric_tps.get(value),
+                    "fabric_measured_tps": round(fabric.throughput_tps, 1) if fabric else None,
+                    "fabric_successful": fabric.successful if fabric else None,
+                }
+            )
+        return rows
+
+
+def _network_config(
+    scale: ExperimentScale, block_size: int, crdt_enabled: bool
+) -> NetworkConfig:
+    return NetworkConfig(
+        topology=scale.topology(),
+        orderer=OrdererConfig(max_message_count=block_size),
+        crdt=CRDTConfig(),
+        crdt_enabled=crdt_enabled,
+        seed=scale.seed,
+    )
+
+
+def _run_pair_for(
+    spec: WorkloadSpec,
+    scale: ExperimentScale,
+    cost: CostModel,
+    crdt_block: int = CRDT_BLOCK_SIZE,
+    fabric_block: int = FABRIC_BLOCK_SIZE,
+) -> tuple[BenchmarkResult, BenchmarkResult]:
+    crdt_result = run_workload(
+        spec.scaled(scale.transactions).with_crdt(True),
+        _network_config(scale, crdt_block, True),
+        cost=cost,
+    )
+    fabric_result = run_workload(
+        spec.scaled(scale.transactions).with_crdt(False),
+        _network_config(scale, fabric_block, False),
+        cost=cost,
+    )
+    return crdt_result, fabric_result
+
+
+def figure3(
+    scale: ExperimentScale = ExperimentScale(),
+    block_sizes: Sequence[int] = FIG3_BLOCK_SIZES,
+    cost: Optional[CostModel] = None,
+) -> FigureResult:
+    """Figure 3 — effect of block size (Table 1 workload)."""
+
+    cost = cost if cost is not None else calibrated_cost_model()
+    result = FigureResult(
+        "Figure 3: effect of block size",
+        "txs/block",
+        tuple(block_sizes),
+        paper_crdt_tps=PAPER_FIG3_CRDT_TPS,
+        paper_fabric_tps=PAPER_FIG3_FABRIC_TPS,
+    )
+    for block_size in block_sizes:
+        spec = table1_spec(total_transactions=scale.transactions, seed=7)
+        result.crdt[block_size] = run_workload(
+            spec, _network_config(scale, block_size, True), cost=cost
+        )
+        result.fabric[block_size] = run_workload(
+            spec.with_crdt(False), _network_config(scale, block_size, False), cost=cost
+        )
+    return result
+
+
+def figure4(
+    scale: ExperimentScale = ExperimentScale(),
+    read_write: Sequence[tuple[int, int]] = FIG4_READ_WRITE,
+    cost: Optional[CostModel] = None,
+) -> FigureResult:
+    """Figure 4 — reads/writes per transaction (Table 2 workload)."""
+
+    cost = cost if cost is not None else calibrated_cost_model()
+    result = FigureResult(
+        "Figure 4: reads and writes per transaction",
+        "R-W keys",
+        tuple(read_write),
+        paper_crdt_tps=PAPER_FIG4_CRDT_TPS,
+    )
+    for reads, writes in read_write:
+        spec = table2_spec(reads, writes, total_transactions=scale.transactions, seed=7)
+        crdt_result, fabric_result = _run_pair_for(spec, scale, cost)
+        result.crdt[(reads, writes)] = crdt_result
+        result.fabric[(reads, writes)] = fabric_result
+    return result
+
+
+def figure5(
+    scale: ExperimentScale = ExperimentScale(),
+    complexity: Sequence[tuple[int, int]] = FIG5_COMPLEXITY,
+    cost: Optional[CostModel] = None,
+) -> FigureResult:
+    """Figure 5 — JSON complexity (Table 3 workload)."""
+
+    cost = cost if cost is not None else calibrated_cost_model()
+    result = FigureResult(
+        "Figure 5: JSON object complexity",
+        "keys-depth",
+        tuple(complexity),
+        paper_crdt_tps=PAPER_FIG5_CRDT_TPS,
+    )
+    for keys, depth in complexity:
+        spec = table3_spec(keys, depth, total_transactions=scale.transactions, seed=7)
+        crdt_result, fabric_result = _run_pair_for(spec, scale, cost)
+        result.crdt[(keys, depth)] = crdt_result
+        result.fabric[(keys, depth)] = fabric_result
+    return result
+
+
+def figure6(
+    scale: ExperimentScale = ExperimentScale(),
+    rates: Sequence[int] = FIG6_RATES,
+    cost: Optional[CostModel] = None,
+) -> FigureResult:
+    """Figure 6 — transaction arrival rate (Table 4 workload)."""
+
+    cost = cost if cost is not None else calibrated_cost_model()
+    result = FigureResult(
+        "Figure 6: transaction arrival rate",
+        "tx/s",
+        tuple(rates),
+        paper_crdt_tps=PAPER_FIG6_CRDT_TPS,
+    )
+    for rate in rates:
+        spec = table4_spec(float(rate), total_transactions=scale.transactions, seed=7)
+        crdt_result, fabric_result = _run_pair_for(spec, scale, cost)
+        result.crdt[rate] = crdt_result
+        result.fabric[rate] = fabric_result
+    return result
+
+
+def figure7(
+    scale: ExperimentScale = ExperimentScale(),
+    conflict_percentages: Sequence[int] = FIG7_CONFLICT_PCT,
+    cost: Optional[CostModel] = None,
+) -> FigureResult:
+    """Figure 7 — percentage of conflicting transactions (Table 5 workload)."""
+
+    cost = cost if cost is not None else calibrated_cost_model()
+    result = FigureResult(
+        "Figure 7: conflicting-transaction percentage",
+        "% conflicts",
+        tuple(conflict_percentages),
+        paper_crdt_tps=PAPER_FIG7_CRDT_TPS,
+        paper_fabric_tps=PAPER_FIG7_FABRIC_TPS,
+    )
+    for pct in conflict_percentages:
+        spec = table5_spec(float(pct), total_transactions=scale.transactions, seed=7)
+        crdt_result, fabric_result = _run_pair_for(spec, scale, cost)
+        result.crdt[pct] = crdt_result
+        result.fabric[pct] = fabric_result
+    return result
+
+
+def timeout_sweep(
+    scale: ExperimentScale = ExperimentScale(),
+    timeouts_s: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    block_size: int = 1000,
+    cost: Optional[CostModel] = None,
+) -> FigureResult:
+    """Extension experiment: the batch timeout behind Figure 3's flattening.
+
+    The paper fixes the batch timeout at 2 s, which caps effective blocks at
+    ``rate × timeout = 600`` transactions — our explanation for why its
+    600/800/1000 points coincide.  Sweeping the timeout at a nominal block
+    size of 1000 exposes the mechanism: short timeouts keep blocks small and
+    throughput high; once the timeout exceeds the ~3.3 s needed to fill
+    1000 transactions at 300 tx/s, throughput settles at the full-block
+    figure (≈20 tx/s, the calibration anchor).
+    """
+
+    cost = cost if cost is not None else calibrated_cost_model()
+    result = FigureResult(
+        f"Timeout sweep: batch timeout at {block_size} txs/block",
+        "timeout [s]",
+        tuple(timeouts_s),
+    )
+    for timeout_s in timeouts_s:
+        spec = table1_spec(total_transactions=scale.transactions, seed=7)
+        config = NetworkConfig(
+            topology=scale.topology(),
+            orderer=OrdererConfig(
+                max_message_count=block_size, batch_timeout_s=timeout_s
+            ),
+            crdt=CRDTConfig(),
+            crdt_enabled=True,
+            seed=scale.seed,
+        )
+        result.crdt[timeout_s] = run_workload(spec, config, cost=cost)
+    return result
+
+
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "timeout": timeout_sweep,
+}

@@ -1,0 +1,91 @@
+"""Canonical serialization of JSON-like values.
+
+Fabric stores chaincode values as opaque byte arrays; CouchDB interprets them
+as JSON documents.  Determinism matters everywhere in this reproduction:
+endorsements are compared byte-wise, block hashes must be identical across
+peers, and CRDT content addresses are derived from value bytes.  This module
+therefore defines *one* canonical encoding (sorted-key, compact-separator
+UTF-8 JSON) used by every component.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .errors import SerializationError
+
+_ENCODER = json.JSONEncoder(
+    sort_keys=True,
+    separators=(",", ":"),
+    ensure_ascii=False,
+    allow_nan=False,
+)
+
+
+def canonical_json(value: Any) -> str:
+    """Serialize ``value`` to canonical JSON text.
+
+    Raises :class:`SerializationError` for values outside the JSON model
+    (sets, bytes, NaN, custom objects...).
+    """
+
+    try:
+        return _ENCODER.encode(value)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"value is not canonically serializable: {exc}") from exc
+
+
+def to_bytes(value: Any) -> bytes:
+    """Canonical JSON bytes for ``value`` (UTF-8)."""
+
+    return canonical_json(value).encode("utf-8")
+
+
+def from_bytes(data: bytes) -> Any:
+    """Inverse of :func:`to_bytes`.
+
+    Raises :class:`SerializationError` on malformed input so callers never
+    have to catch ``json.JSONDecodeError`` directly.
+    """
+
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"malformed value bytes: {exc}") from exc
+
+
+def byte_size(value: Any) -> int:
+    """Size in bytes of the canonical encoding (used by block cutting)."""
+
+    return len(to_bytes(value))
+
+
+def deep_freeze(value: Any) -> Any:
+    """Convert a JSON value into an immutable, hashable equivalent.
+
+    Maps become sorted key/value tuples, lists become tuples.  Used to build
+    content addresses and to key dictionaries by JSON content.
+    """
+
+    if isinstance(value, dict):
+        return tuple(sorted((k, deep_freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(deep_freeze(item) for item in value)
+    return value
+
+
+def deep_copy_json(value: Any) -> Any:
+    """Structural copy of a JSON value (cheaper than ``copy.deepcopy``)."""
+
+    if isinstance(value, dict):
+        return {k: deep_copy_json(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [deep_copy_json(item) for item in value]
+    return value
+
+
+def json_equal(left: Any, right: Any) -> bool:
+    """Structural equality of two JSON values via canonical encoding."""
+
+    return canonical_json(left) == canonical_json(right)

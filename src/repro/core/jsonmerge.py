@@ -1,0 +1,128 @@
+"""Algorithm 2 — ``MergeCRDT``: merge a JSON object into a JSON CRDT.
+
+This module is FabricCRDT's view of the JSON CRDT engine.  The actual
+cursor/operation machinery lives in :mod:`repro.crdt.json`; here we bind it
+to the paper's names and to :class:`~repro.common.config.CRDTConfig`, and add
+the ``InitEmptyCRDT`` factory from Algorithm 1 (line 9): the type of CRDT
+object instantiated depends on the type of the value — plain JSON objects
+get a JSON CRDT; values carrying a CRDT envelope (``{"crdt": ..., "state":
+...}``, e.g. a G-Counter written by the counters extension) get the
+corresponding state-based CRDT from the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.config import CRDTConfig
+from ..common.errors import MergeTypeError, UnsupportedValueError
+from ..common.serialization import from_bytes, to_bytes
+from ..crdt.base import StateCRDT
+from ..crdt.json import JsonDocument, MergeOptions, Operation, merge_json
+from ..crdt.registry import crdt_from_dict_envelope, crdt_to_dict_envelope
+
+
+def merge_options(config: CRDTConfig) -> MergeOptions:
+    """Translate FabricCRDT configuration into JSON-CRDT merge options."""
+
+    return MergeOptions(
+        dedup_identical=config.dedup_identical,
+        stringify_scalars=config.stringify_scalars,
+    )
+
+
+def is_crdt_envelope(value: object) -> bool:
+    """True if ``value`` is a serialized state-CRDT envelope."""
+
+    return isinstance(value, dict) and set(value.keys()) == {"crdt", "state"}
+
+
+@dataclass
+class MergedKey:
+    """The CRDT accumulated for one key during a block merge.
+
+    Exactly one of ``document`` (JSON CRDT) / ``state_crdt`` is set; mixing
+    the two kinds under one key within a block is a payload error.
+    """
+
+    key: str
+    document: Optional[JsonDocument] = None
+    state_crdt: Optional[StateCRDT] = None
+    values_merged: int = 0
+    #: ops applied for cheap (envelope) merges, for work accounting
+    envelope_merge_ops: int = 0
+
+    @property
+    def kind(self) -> str:
+        return "json" if self.document is not None else "state"
+
+    def to_committed_bytes(self) -> bytes:
+        """Final value bytes to substitute into write-sets (Algorithm 1,
+        lines 20–21): JSON CRDTs are converted to plain JSON with metadata
+        stripped; state CRDTs keep their envelope (their metadata *is* the
+        value — a counter without its per-actor entries cannot merge again)."""
+
+        if self.document is not None:
+            return to_bytes(self.document.to_plain())
+        assert self.state_crdt is not None
+        return to_bytes(crdt_to_dict_envelope(self.state_crdt))
+
+
+def init_empty_crdt(key: str, value: object, actor: str) -> MergedKey:
+    """``InitEmptyCRDT(key, value)`` — Algorithm 1, line 9.
+
+    ``actor`` must be identical on every peer for the same block (we use the
+    block number) so the merged documents — and hence the committed bytes —
+    are byte-identical network-wide.
+    """
+
+    if is_crdt_envelope(value):
+        empty = type(crdt_from_dict_envelope(value))()  # same type, empty state
+        return MergedKey(key=key, state_crdt=empty)
+    if isinstance(value, dict):
+        return MergedKey(key=key, document=JsonDocument(actor=actor))
+    raise UnsupportedValueError(
+        f"CRDT value for key {key!r} must be a JSON object or CRDT envelope, "
+        f"got {type(value).__name__}"
+    )
+
+
+def merge_crdt(
+    merged: MergedKey, value: object, config: CRDTConfig
+) -> list[Operation]:
+    """``MergeCRDT(CRDT, value)`` — Algorithm 1 line 11 / Algorithm 2.
+
+    Returns the JSON-CRDT operations applied (empty for envelope merges).
+    Raises :class:`MergeTypeError` when the value kind does not match the
+    CRDT accumulated so far for this key, and
+    :class:`UnsupportedValueError` for payloads outside the supported model.
+    """
+
+    if is_crdt_envelope(value):
+        if merged.state_crdt is None:
+            raise MergeTypeError(
+                f"key {merged.key!r}: envelope value after JSON values in one block"
+            )
+        incoming = crdt_from_dict_envelope(value)
+        merged.state_crdt = merged.state_crdt.merge(incoming)  # type: ignore[arg-type]
+        merged.values_merged += 1
+        merged.envelope_merge_ops += 1
+        return []
+    if not isinstance(value, dict):
+        raise UnsupportedValueError(
+            f"key {merged.key!r}: unsupported CRDT payload {type(value).__name__}"
+        )
+    if merged.document is None:
+        raise MergeTypeError(
+            f"key {merged.key!r}: JSON value after envelope values in one block"
+        )
+    operations = merge_json(merged.document, value, merge_options(config))
+    merged.values_merged += 1
+    return operations
+
+
+def merge_value_bytes(merged: MergedKey, raw: bytes, config: CRDTConfig) -> list[Operation]:
+    """Decode a write-set value (Algorithm 1's binary conversion) and merge."""
+
+    return merge_crdt(merged, from_bytes(raw), config)

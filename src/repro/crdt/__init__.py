@@ -1,0 +1,46 @@
+"""CRDT library: state-based types, an op-based JSON CRDT, and a registry."""
+
+from .base import OpCRDT, StateCRDT
+from .gcounter import GCounter
+from .gset import GSet
+from .lwwregister import LWWRegister
+from .mvregister import MVRegister
+from .ormap import ORMap
+from .orset import ORSet
+from .pncounter import PNCounter
+from .registry import (
+    crdt_from_bytes,
+    crdt_from_dict_envelope,
+    crdt_to_bytes,
+    crdt_to_dict_envelope,
+    merge_envelopes,
+    register_crdt,
+    registered_types,
+)
+from .rga import HEAD, RGA, RGAEntry
+from .text import TextDocument
+from .twophase import TwoPhaseSet
+
+__all__ = [
+    "StateCRDT",
+    "OpCRDT",
+    "GCounter",
+    "PNCounter",
+    "GSet",
+    "TwoPhaseSet",
+    "ORSet",
+    "LWWRegister",
+    "MVRegister",
+    "RGA",
+    "RGAEntry",
+    "HEAD",
+    "TextDocument",
+    "ORMap",
+    "register_crdt",
+    "registered_types",
+    "crdt_to_bytes",
+    "crdt_from_bytes",
+    "crdt_to_dict_envelope",
+    "crdt_from_dict_envelope",
+    "merge_envelopes",
+]

@@ -1,0 +1,106 @@
+"""CRDT interfaces and merge laws.
+
+Two families, as in the paper's background section (§2.2):
+
+* **State-based** (:class:`StateCRDT`): replicas exchange full states and
+  ``merge`` them; merge must be commutative, associative, and idempotent —
+  i.e. a join-semilattice.  The property-based tests in
+  ``tests/crdt/test_merge_laws.py`` check these laws for every concrete type.
+* **Operation-based** (:class:`OpCRDT`): replicas exchange operations;
+  applying the same causally-ordered set of operations in any
+  causality-respecting order converges.  The JSON CRDT
+  (:mod:`repro.crdt.json`) is operation-based.
+
+Every CRDT serializes to/from canonical JSON so values can live in the
+Fabric world state as bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TypeVar
+
+from ..common.errors import MergeTypeError
+from ..common.serialization import from_bytes, to_bytes
+
+S = TypeVar("S", bound="StateCRDT")
+
+
+class StateCRDT:
+    """Abstract state-based CRDT."""
+
+    #: Short type tag written into the serialization envelope.
+    type_name: str = "state-crdt"
+
+    def merge(self: S, other: S) -> S:
+        """Return the least upper bound of ``self`` and ``other``.
+
+        Must not mutate either operand.
+        """
+
+        raise NotImplementedError
+
+    def value(self) -> Any:
+        """The user-facing value (e.g. an ``int`` for counters)."""
+
+        raise NotImplementedError
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible state payload (without the envelope)."""
+
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls: type[S], payload: dict) -> S:
+        raise NotImplementedError
+
+    def to_bytes(self) -> bytes:
+        """Canonical envelope bytes: ``{"crdt": type_name, "state": ...}``."""
+
+        return to_bytes({"crdt": self.type_name, "state": self.to_dict()})
+
+    @classmethod
+    def from_bytes(cls: type[S], data: bytes) -> S:
+        envelope = from_bytes(data)
+        if not isinstance(envelope, dict) or envelope.get("crdt") != cls.type_name:
+            raise MergeTypeError(
+                f"expected a {cls.type_name} envelope, got {envelope!r:.120}"
+            )
+        return cls.from_dict(envelope["state"])
+
+    # -- helpers -------------------------------------------------------------
+
+    def _require_same_type(self, other: "StateCRDT") -> None:
+        if type(other) is not type(self):
+            raise MergeTypeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:  # frozen-by-convention; states compare by content
+        return hash(to_bytes(self.to_dict()))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.value()!r})"
+
+
+class OpCRDT:
+    """Abstract operation-based CRDT.
+
+    Implementations expose ``apply(operation)`` with at-most-once,
+    causal-order delivery assumed (our Fabric substrate provides exactly-once
+    total order per block, which is strictly stronger).
+    """
+
+    type_name: str = "op-crdt"
+
+    def apply(self, operation: Any) -> None:
+        raise NotImplementedError
+
+    def value(self) -> Any:
+        raise NotImplementedError

@@ -1,0 +1,54 @@
+"""Grow-only counter (G-Counter).
+
+The paper's §2.2 walk-through example: one entry per actor, increments only;
+merge takes the per-actor maximum; the value is the sum.
+"""
+
+from __future__ import annotations
+
+from .base import StateCRDT
+
+
+class GCounter(StateCRDT):
+    """State-based grow-only counter."""
+
+    type_name = "g-counter"
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: dict[str, int] | None = None) -> None:
+        self._entries: dict[str, int] = {}
+        for actor, count in (entries or {}).items():
+            if count < 0:
+                raise ValueError(f"negative count for {actor!r}: {count}")
+            if count:
+                self._entries[actor] = int(count)
+
+    def increment(self, actor: str, amount: int = 1) -> "GCounter":
+        """Return a new counter with ``actor`` incremented by ``amount``."""
+
+        if amount < 0:
+            raise ValueError("G-Counter cannot decrement; use PNCounter")
+        entries = dict(self._entries)
+        entries[actor] = entries.get(actor, 0) + amount
+        return GCounter(entries)
+
+    def actor_count(self, actor: str) -> int:
+        return self._entries.get(actor, 0)
+
+    def merge(self, other: "GCounter") -> "GCounter":
+        self._require_same_type(other)
+        merged = dict(self._entries)
+        for actor, count in other._entries.items():
+            merged[actor] = max(merged.get(actor, 0), count)
+        return GCounter(merged)
+
+    def value(self) -> int:
+        return sum(self._entries.values())
+
+    def to_dict(self) -> dict:
+        return {"entries": dict(sorted(self._entries.items()))}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GCounter":
+        return cls(dict(payload["entries"]))

@@ -1,0 +1,63 @@
+"""Grow-only set (G-Set): merge is set union; removal is impossible."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from ..common.serialization import canonical_json, deep_freeze, from_bytes
+from .base import StateCRDT
+
+
+class GSet(StateCRDT):
+    """State-based grow-only set of JSON values.
+
+    Elements are arbitrary JSON values, stored keyed by their canonical
+    encoding so unhashable values (dicts, lists) work.
+    """
+
+    type_name = "g-set"
+
+    __slots__ = ("_elements",)
+
+    def __init__(self, elements: Iterable[Any] = ()) -> None:
+        self._elements: dict[str, Any] = {}
+        for element in elements:
+            self._elements[canonical_json(element)] = element
+
+    def add(self, element: Any) -> "GSet":
+        new = GSet()
+        new._elements = dict(self._elements)
+        new._elements[canonical_json(element)] = element
+        return new
+
+    def __contains__(self, element: Any) -> bool:
+        return canonical_json(element) in self._elements
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._elements.values())
+
+    def merge(self, other: "GSet") -> "GSet":
+        self._require_same_type(other)
+        new = GSet()
+        new._elements = {**self._elements, **other._elements}
+        return new
+
+    def value(self) -> list:
+        """Deterministically ordered list of elements."""
+
+        return [self._elements[key] for key in sorted(self._elements)]
+
+    def to_dict(self) -> dict:
+        return {"elements": self.value()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GSet":
+        return cls(payload["elements"])
+
+    def freeze(self) -> frozenset:
+        """Hashable snapshot of the element set (for property tests)."""
+
+        return frozenset(deep_freeze(from_bytes(canonical_json(e).encode())) for e in self)

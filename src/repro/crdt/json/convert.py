@@ -1,0 +1,66 @@
+"""Conversion of a JSON CRDT document to plain JSON.
+
+This is the paper's ``ConvertCRDTToDataType`` step (Algorithm 1, line 20):
+"a representation of the datatype with all the CRDT-related metadata cleaned
+up and removed".  Conversion must be deterministic — every peer converts the
+same merged document and must commit byte-identical values — so the two
+places where the CRDT holds more than JSON can express are resolved by fixed
+rules:
+
+* a multi-value register (concurrent assigns to one key) resolves to the
+  value written by the **highest operation ID**;
+* a slot holding branches of different types (concurrent assign of a string
+  vs. a map, say) resolves to the branch last written by the **highest
+  operation ID**.
+
+Both rules only depend on the converged CRDT state, never on arrival order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from .nodes import DocumentStats, ListNode, MapNode, Slot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .document import JsonDocument
+
+#: Returned by slot conversion when a slot has no renderable content.
+_EMPTY = object()
+
+
+def document_to_plain(document: "JsonDocument") -> dict:
+    """Plain JSON object for the whole document."""
+
+    return map_to_plain(document.root, document.stats)
+
+
+def map_to_plain(node: MapNode, stats: Optional[DocumentStats] = None) -> dict:
+    result: dict[str, Any] = {}
+    for key in node.visible_keys():
+        rendered = slot_to_plain(node.slots[key], stats)
+        if rendered is not _EMPTY:
+            result[key] = rendered
+    return result
+
+
+def list_to_plain(node: ListNode, stats: Optional[DocumentStats] = None) -> list:
+    result: list[Any] = []
+    for cell in node.visible_cells(stats):
+        rendered = slot_to_plain(cell.slot, stats)
+        if rendered is not _EMPTY:
+            result.append(rendered)
+    return result
+
+
+def slot_to_plain(slot: Slot, stats: Optional[DocumentStats] = None) -> Any:
+    branch = slot.winning_branch()
+    if branch is None:
+        return _EMPTY
+    if branch == "leaf":
+        return slot.winning_leaf()
+    if branch == "map":
+        assert slot.map_child is not None
+        return map_to_plain(slot.map_child, stats)
+    assert slot.list_child is not None
+    return list_to_plain(slot.list_child, stats)

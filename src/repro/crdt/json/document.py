@@ -1,0 +1,418 @@
+"""The JSON CRDT document: operation application, buffering, local edits.
+
+:class:`JsonDocument` is an operation-based CRDT.  ``apply()`` is:
+
+* **idempotent** — re-applying an operation ID is a no-op;
+* **causal** — operations whose dependencies are missing are buffered and
+  drained once the dependencies arrive (the paper: "we queue the operation
+  until all dependencies are applied");
+* **commutative for concurrent operations** — deletions carry their observed
+  presence IDs, assignments carry the value IDs they overwrite, so arrival
+  order of concurrent operations does not affect the converged state.
+
+Local editing (``assign`` / ``insert_at`` / ``delete_at`` / ...) generates
+operations against the current state and applies them immediately; callers
+replicate the returned operations to other documents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from ...common.clock import LamportClock
+from ...common.errors import CausalityError, CursorError
+from .cursor import Cursor, ListStep, MapStep, Step
+from .ids import OpId
+from .mutation import (
+    AssignKey,
+    DeleteElem,
+    DeleteKey,
+    InsertAfter,
+    Mutation,
+    Payload,
+    PayloadKind,
+)
+from .nodes import Cell, DocumentStats, ListNode, MapNode, Slot
+from .operation import Operation
+
+
+class JsonDocument:
+    """A replicated JSON document (op-based CRDT)."""
+
+    def __init__(self, actor: str = "doc") -> None:
+        self.root = MapNode()
+        self.clock = LamportClock(actor)
+        self.stats = DocumentStats()
+        self._applied: set[OpId] = set()
+        #: op buffered -> missing dependencies
+        self._buffer: dict[OpId, Operation] = {}
+        self._op_log: list[Operation] = []
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def applied_ids(self) -> frozenset[OpId]:
+        return frozenset(self._applied)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def op_log(self) -> tuple[Operation, ...]:
+        """All operations applied, in application order."""
+
+        return tuple(self._op_log)
+
+    def has_applied(self, op_id: OpId) -> bool:
+        return op_id in self._applied
+
+    # -- replication: applying remote operations ---------------------------------
+
+    def apply(self, operation: Operation) -> bool:
+        """Apply (or buffer) one operation.
+
+        Returns ``True`` if the operation executed now, ``False`` if it was a
+        duplicate or went to the causal buffer.
+        """
+
+        if operation.id in self._applied:
+            return False  # idempotence: exactly-once effect
+        if not operation.deps <= self._applied:
+            self._buffer[operation.id] = operation
+            self.stats.ops_buffered += 1
+            return False
+        self._execute(operation)
+        self._drain_buffer()
+        return True
+
+    def apply_all(self, operations: Iterable[Operation]) -> int:
+        """Apply many operations; returns how many executed (now or drained)."""
+
+        before = len(self._applied)
+        for operation in operations:
+            self.apply(operation)
+        return len(self._applied) - before
+
+    def require_quiescent(self) -> None:
+        """Raise :class:`CausalityError` if buffered operations remain."""
+
+        if self._buffer:
+            missing = {
+                str(op.id): sorted(str(d) for d in op.deps - self._applied)
+                for op in self._buffer.values()
+            }
+            raise CausalityError(f"operations stuck on missing deps: {missing}")
+
+    def _drain_buffer(self) -> None:
+        progressed = True
+        while progressed and self._buffer:
+            progressed = False
+            for op_id in list(self._buffer):
+                operation = self._buffer[op_id]
+                if operation.deps <= self._applied:
+                    del self._buffer[op_id]
+                    self._execute(operation)
+                    progressed = True
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, operation: Operation) -> None:
+        mutation = operation.mutation
+        container = self._resolve_container(operation.cursor, mutation, operation.id)
+        if isinstance(mutation, AssignKey):
+            self._do_assign(container, mutation, operation.id)
+        elif isinstance(mutation, InsertAfter):
+            self._do_insert(container, mutation, operation.id)
+        elif isinstance(mutation, DeleteKey):
+            self._do_delete_key(container, mutation)
+        elif isinstance(mutation, DeleteElem):
+            self._do_delete_elem(container, mutation)
+        else:  # pragma: no cover - exhaustive over Mutation union
+            raise TypeError(f"unknown mutation: {mutation!r}")
+        self._applied.add(operation.id)
+        self._op_log.append(operation)
+        self.clock.merge(operation.id)
+        self.stats.ops_applied += 1
+
+    def _resolve_container(self, cursor: Cursor, mutation: Mutation, op_id: OpId):
+        """Walk the cursor from the root, creating missing nodes.
+
+        Per the paper: "for every node in the cursor, if the node already
+        exists, we add the identifier of the current operation to the node;
+        if the node ... is missing, we add the node."
+        """
+
+        node: Any = self.root
+        steps = cursor.steps
+        for index, step in enumerate(steps):
+            next_branch = self._branch_after(steps, index, mutation)
+            if isinstance(step, MapStep):
+                if not isinstance(node, MapNode):
+                    raise CursorError(f"{cursor}: step {step} expects a map")
+                slot = node.ensure_slot(step.key, self.stats)
+                slot.touch(op_id)
+                node = self._descend_slot(slot, next_branch, op_id)
+            else:  # ListStep
+                if not isinstance(node, ListNode):
+                    raise CursorError(f"{cursor}: step {step} expects a list")
+                cell = node.get(step.element_id)
+                if cell is None:
+                    raise CursorError(f"{cursor}: unknown list element {step.element_id}")
+                cell.slot.touch(op_id)
+                node = self._descend_slot(cell.slot, next_branch, op_id)
+        expected = MapNode if isinstance(mutation, (AssignKey, DeleteKey)) else ListNode
+        if not isinstance(node, expected):
+            raise CursorError(
+                f"{cursor}: mutation {type(mutation).__name__} targets a "
+                f"{expected.__name__}, found {type(node).__name__}"
+            )
+        return node
+
+    @staticmethod
+    def _branch_after(steps: tuple[Step, ...], index: int, mutation: Mutation) -> str:
+        """Which branch (map/list) to descend into after ``steps[index]``."""
+
+        if index + 1 < len(steps):
+            return "map" if isinstance(steps[index + 1], MapStep) else "list"
+        return "map" if isinstance(mutation, (AssignKey, DeleteKey)) else "list"
+
+    def _descend_slot(self, slot: Slot, branch: str, op_id: OpId):
+        if branch == "map":
+            if slot.map_child is None:
+                slot.map_child = MapNode()
+                self.stats.nodes_created += 1
+            slot.note_branch("map", op_id)
+            return slot.map_child
+        if slot.list_child is None:
+            slot.list_child = ListNode()
+            self.stats.nodes_created += 1
+        slot.note_branch("list", op_id)
+        return slot.list_child
+
+    # -- mutation handlers ---------------------------------------------------------
+
+    def _do_assign(self, node: MapNode, mutation: AssignKey, op_id: OpId) -> None:
+        slot = node.ensure_slot(mutation.key, self.stats)
+        slot.touch(op_id)
+        for overwritten in mutation.overwrites:
+            slot.leaf_values.pop(overwritten, None)
+        self._write_payload(slot, mutation.payload, op_id)
+
+    def _do_insert(self, node: ListNode, mutation: InsertAfter, op_id: OpId) -> None:
+        if op_id in node.cells:
+            return  # content-addressed duplicate: idempotent by construction
+        if mutation.anchor is not None and mutation.anchor not in node.cells:
+            raise CursorError(f"insert anchor {mutation.anchor} missing")
+        cell = Cell(element_id=op_id, anchor=mutation.anchor)
+        cell.slot.touch(op_id)
+        self._write_payload(cell.slot, mutation.payload, op_id)
+        node.insert(cell, self.stats)
+
+    def _write_payload(self, slot: Slot, payload: Payload, op_id: OpId) -> None:
+        if payload.kind is PayloadKind.LEAF:
+            slot.leaf_values[op_id] = payload.leaf
+            slot.note_branch("leaf", op_id)
+        elif payload.kind is PayloadKind.EMPTY_MAP:
+            if slot.map_child is None:
+                slot.map_child = MapNode()
+                self.stats.nodes_created += 1
+            slot.note_branch("map", op_id)
+        else:
+            if slot.list_child is None:
+                slot.list_child = ListNode()
+                self.stats.nodes_created += 1
+            slot.note_branch("list", op_id)
+
+    def _do_delete_key(self, node: MapNode, mutation: DeleteKey) -> None:
+        slot = node.slot(mutation.key)
+        if slot is None:
+            return  # deleting a never-seen key is a no-op
+        slot.presence -= mutation.observed
+        for observed in mutation.observed:
+            slot.leaf_values.pop(observed, None)
+
+    def _do_delete_elem(self, node: ListNode, mutation: DeleteElem) -> None:
+        cell = node.get(mutation.element_id)
+        if cell is None:
+            return
+        cell.slot.presence -= mutation.observed
+        for observed in mutation.observed:
+            cell.slot.leaf_values.pop(observed, None)
+
+    # -- local editing API ------------------------------------------------------------
+
+    def assign(
+        self, cursor: Cursor, key: str, value: str,
+        deps: Optional[frozenset[OpId]] = None,
+    ) -> Operation:
+        """Assign string ``value`` at ``key`` of the map at ``cursor``."""
+
+        node = self._peek_container(cursor, expect=MapNode)
+        slot = node.slot(key) if node is not None else None
+        overwrites = frozenset(slot.leaf_values) if slot is not None else frozenset()
+        return self._emit(
+            cursor,
+            AssignKey(key, Payload.string(value), overwrites),
+            deps=deps,
+        )
+
+    def assign_container(
+        self, cursor: Cursor, key: str, kind: str,
+        deps: Optional[frozenset[OpId]] = None,
+    ) -> Operation:
+        """Create an empty map (``kind='map'``) or list (``'list'``) at key."""
+
+        payload = Payload.empty_map() if kind == "map" else Payload.empty_list()
+        return self._emit(cursor, AssignKey(key, payload), deps=deps)
+
+    def insert_after(
+        self, cursor: Cursor, anchor: Optional[OpId], payload: Payload,
+        op_id: Optional[OpId] = None,
+        deps: Optional[frozenset[OpId]] = None,
+    ) -> Operation:
+        """Insert into the list at ``cursor`` after ``anchor`` (None = head).
+
+        ``op_id`` overrides the clock-generated ID (used by content-addressed
+        merging); the clock is still ticked so later IDs dominate.
+        """
+
+        return self._emit(cursor, InsertAfter(anchor, payload), op_id=op_id, deps=deps)
+
+    def append(
+        self, cursor: Cursor, payload: Payload,
+        op_id: Optional[OpId] = None,
+        deps: Optional[frozenset[OpId]] = None,
+    ) -> Operation:
+        """Insert at the end of the visible list at ``cursor``."""
+
+        node = self._peek_container(cursor, expect=ListNode)
+        anchor = node.last_visible_id(self.stats) if node is not None else None
+        return self.insert_after(cursor, anchor, payload, op_id=op_id, deps=deps)
+
+    def delete_key(
+        self, cursor: Cursor, key: str, deps: Optional[frozenset[OpId]] = None,
+    ) -> Operation:
+        node = self._peek_container(cursor, expect=MapNode)
+        slot = node.slot(key) if node is not None else None
+        observed = frozenset(slot.presence) if slot is not None else frozenset()
+        return self._emit(cursor, DeleteKey(key, observed), deps=deps)
+
+    def delete_elem(
+        self, cursor: Cursor, element_id: OpId, deps: Optional[frozenset[OpId]] = None,
+    ) -> Operation:
+        node = self._peek_container(cursor, expect=ListNode)
+        cell = node.get(element_id) if node is not None else None
+        observed = frozenset(cell.slot.presence) if cell is not None else frozenset()
+        return self._emit(cursor, DeleteElem(element_id, observed), deps=deps)
+
+    @staticmethod
+    def _referenced_ids(cursor: Cursor, mutation: Mutation) -> set[OpId]:
+        """Every operation ID this op structurally depends on.
+
+        An operation cannot execute before the cells its cursor traverses
+        exist, before its insert anchor exists, or before the values it
+        overwrites / the presence IDs it observed were written.  Declaring
+        these as dependencies makes out-of-order delivery safe.
+        """
+
+        referenced: set[OpId] = {
+            step.element_id for step in cursor.steps if isinstance(step, ListStep)
+        }
+        if isinstance(mutation, InsertAfter):
+            if mutation.anchor is not None:
+                referenced.add(mutation.anchor)
+        elif isinstance(mutation, AssignKey):
+            referenced.update(mutation.overwrites)
+        elif isinstance(mutation, DeleteKey):
+            referenced.update(mutation.observed)
+        elif isinstance(mutation, DeleteElem):
+            referenced.add(mutation.element_id)
+            referenced.update(mutation.observed)
+        return referenced
+
+    def _emit(
+        self,
+        cursor: Cursor,
+        mutation: Mutation,
+        op_id: Optional[OpId] = None,
+        deps: Optional[frozenset[OpId]] = None,
+    ) -> Operation:
+        new_id = op_id if op_id is not None else self.clock.tick()
+        if op_id is not None:
+            self.clock.tick()  # keep clock ahead even for externally named ops
+        full_deps = self._referenced_ids(cursor, mutation)
+        if deps:
+            full_deps |= deps
+        full_deps.discard(new_id)
+        operation = Operation(
+            id=new_id,
+            deps=frozenset(full_deps),
+            cursor=cursor,
+            mutation=mutation,
+        )
+        if operation.id in self._applied:
+            return operation  # already present (content-addressed duplicate)
+        self._execute(operation)
+        self._drain_buffer()
+        return operation
+
+    def _peek_container(self, cursor: Cursor, expect: type):
+        """Resolve a cursor read-only; ``None`` if the path does not exist."""
+
+        node: Any = self.root
+        steps = cursor.steps
+        for index, step in enumerate(steps):
+            if isinstance(step, MapStep):
+                if not isinstance(node, MapNode):
+                    return None
+                slot = node.slot(step.key)
+                if slot is None:
+                    return None
+                branch = self._peek_branch(steps, index, expect)
+                node = slot.map_child if branch == "map" else slot.list_child
+            else:
+                if not isinstance(node, ListNode):
+                    return None
+                cell = node.get(step.element_id)
+                if cell is None:
+                    return None
+                branch = self._peek_branch(steps, index, expect)
+                node = cell.slot.map_child if branch == "map" else cell.slot.list_child
+            if node is None:
+                return None
+        return node if isinstance(node, expect) else None
+
+    @staticmethod
+    def _peek_branch(steps: tuple[Step, ...], index: int, expect: type) -> str:
+        if index + 1 < len(steps):
+            return "map" if isinstance(steps[index + 1], MapStep) else "list"
+        return "map" if expect is MapNode else "list"
+
+    # -- reading ------------------------------------------------------------------
+
+    def to_plain(self) -> dict:
+        """Convert to a plain JSON object, all CRDT metadata stripped.
+
+        This is the paper's ``ConvertCRDTToDataType`` (Algorithm 1, line 20);
+        the full conversion rules live in :mod:`repro.crdt.json.convert`.
+        """
+
+        from .convert import document_to_plain
+
+        return document_to_plain(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"JsonDocument(actor={self.clock.actor!r}, "
+            f"ops={len(self._applied)}, pending={len(self._buffer)})"
+        )
+
+
+def replicate(source: JsonDocument, actor: str) -> JsonDocument:
+    """A new document with the source's op log applied (a fresh replica)."""
+
+    replica = JsonDocument(actor)
+    replica.apply_all(source.op_log)
+    replica.require_quiescent()
+    return replica

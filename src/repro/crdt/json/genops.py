@@ -1,0 +1,146 @@
+"""Merging a plain JSON object into a document — the paper's Algorithm 2.
+
+``merge_json(document, value)`` walks the incoming JSON object exactly as
+Algorithm 2 does: for each key, extend the cursor; strings become assign
+operations, lists and maps recurse.  Every generated operation chains its
+dependency list to the previous one (the algorithm's ``dependencies.Add``
+after each operation), is applied immediately, and is also returned so tests
+can replicate the op stream to other documents.
+
+Two behaviours are configurable (DESIGN.md §3):
+
+* ``dedup_identical`` — list-item operation IDs are content-addressed, so an
+  item that is byte-identical *at the same path with the same occurrence
+  index* merges idempotently.  This reproduces Listing 1 → Listing 2 and
+  prevents duplicate amplification when concurrent read-modify-write
+  transactions both carry items from a common read snapshot.
+* ``stringify_scalars`` — numbers/booleans/None in the incoming JSON are
+  converted to canonical strings (the paper: "when users require to use
+  other datatypes, such as numbers or Boolean, they should convert the
+  desired datatype to strings"); with the option off we raise
+  :class:`UnsupportedValueError` instead, enforcing the paper's restriction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from ...common.errors import UnsupportedValueError
+from ...common.serialization import canonical_json
+from .cursor import Cursor, ListStep, MapStep
+from .document import JsonDocument
+from .ids import OpId, content_id
+from .mutation import Payload
+from .operation import Operation
+
+
+@dataclass(frozen=True)
+class MergeOptions:
+    """Tunable semantics for JSON merging (see module docstring)."""
+
+    dedup_identical: bool = True
+    stringify_scalars: bool = True
+
+
+def merge_json(
+    document: JsonDocument,
+    value: Mapping[str, Any],
+    options: MergeOptions = MergeOptions(),
+) -> list[Operation]:
+    """Merge a JSON object into ``document``; returns the operations applied.
+
+    The paper's ``MergeCRDT(JsonCRDT, Json)``.  The top-level value must be a
+    JSON object, as in Fabric chaincode values stored through CouchDB.
+    """
+
+    if not isinstance(value, Mapping):
+        raise UnsupportedValueError(
+            f"top-level CRDT values must be JSON objects, got {type(value).__name__}"
+        )
+    ops: list[Operation] = []
+    _merge_map(document, Cursor(), value, ops, options)
+    return ops
+
+
+def _chain_deps(ops: list[Operation]) -> frozenset[OpId]:
+    """Dependency set for the next operation: the previously emitted op."""
+
+    return frozenset({ops[-1].id}) if ops else frozenset()
+
+
+def _coerce_leaf(value: Any, options: MergeOptions) -> str:
+    if isinstance(value, str):
+        return value
+    if value is None or isinstance(value, (bool, int, float)):
+        if options.stringify_scalars:
+            return canonical_json(value)
+        raise UnsupportedValueError(
+            f"non-string scalar {value!r} (enable stringify_scalars or pre-convert)"
+        )
+    raise UnsupportedValueError(f"unsupported JSON leaf: {type(value).__name__}")
+
+
+def _merge_map(
+    document: JsonDocument,
+    cursor: Cursor,
+    mapping: Mapping[str, Any],
+    ops: list[Operation],
+    options: MergeOptions,
+) -> None:
+    for key, value in mapping.items():
+        if not isinstance(key, str):
+            raise UnsupportedValueError(f"map keys must be strings, got {key!r}")
+        if isinstance(value, Mapping):
+            ops.append(
+                document.assign_container(cursor, key, "map", deps=_chain_deps(ops))
+            )
+            _merge_map(document, cursor.extended(MapStep(key)), value, ops, options)
+        elif isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+            ops.append(
+                document.assign_container(cursor, key, "list", deps=_chain_deps(ops))
+            )
+            _merge_list(document, cursor.extended(MapStep(key)), value, ops, options)
+        else:
+            leaf = _coerce_leaf(value, options)
+            ops.append(document.assign(cursor, key, leaf, deps=_chain_deps(ops)))
+
+
+def _merge_list(
+    document: JsonDocument,
+    cursor: Cursor,
+    items: Sequence[Any],
+    ops: list[Operation],
+    options: MergeOptions,
+) -> None:
+    occurrences: dict[str, int] = {}
+    for item in items:
+        if isinstance(item, Mapping):
+            payload = Payload.empty_map()
+            normalized: Any = item
+        elif isinstance(item, Sequence) and not isinstance(item, (str, bytes)):
+            payload = Payload.empty_list()
+            normalized = item
+        else:
+            normalized = _coerce_leaf(item, options)
+            payload = Payload.string(normalized)
+
+        content_key = canonical_json(normalized)
+        occurrence = occurrences.get(content_key, 0)
+        occurrences[content_key] = occurrence + 1
+
+        elem_id: Optional[OpId] = None
+        if options.dedup_identical:
+            elem_id = content_id(cursor.path_repr(), normalized, occurrence)
+            if document.has_applied(elem_id):
+                # Identical item already merged at this path: idempotent skip,
+                # including its entire subtree (identical by construction).
+                continue
+
+        operation = document.append(cursor, payload, op_id=elem_id, deps=_chain_deps(ops))
+        ops.append(operation)
+        item_cursor = cursor.extended(ListStep(operation.id))
+        if isinstance(item, Mapping):
+            _merge_map(document, item_cursor, item, ops, options)
+        elif isinstance(item, Sequence) and not isinstance(item, (str, bytes)):
+            _merge_list(document, item_cursor, item, ops, options)

@@ -1,0 +1,52 @@
+"""Operation identifiers for the JSON CRDT.
+
+Two ID schemes coexist (see DESIGN.md §3, decision 2):
+
+* **Clock IDs** — ``(counter, actor)`` Lamport timestamps ticked from the
+  document's clock, exactly as the paper describes (§5.2: "we ensure that the
+  operation identifiers are globally unique by using an instance of a Lamport
+  clock for each JSON CRDT instantiation").
+* **Content IDs** — for list-item inserts in dedup mode: the actor part is a
+  hash of (path, canonical content, occurrence index), so the *same* item
+  submitted by two concurrent read-modify-write transactions produces the
+  *same* operation ID, and the second application is a no-op.  This is what
+  makes the paper's Listing 1 → Listing 2 merge hold without duplicating
+  items that both transactions carried over from their common read snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...common.clock import LamportTimestamp
+from ...common.hashing import sha256_hex
+from ...common.serialization import canonical_json
+
+#: Operation identifier: reuse Lamport timestamps, ordered by (counter, actor).
+OpId = LamportTimestamp
+
+#: Counter value used by all content-addressed IDs.  Using a constant keeps
+#: content IDs mutually ordered by their hash only (deterministic, arbitrary),
+#: while clock IDs from live editing always dominate or interleave by counter.
+CONTENT_COUNTER = 1
+
+
+def content_id(path_repr: str, content: Any, occurrence: int) -> OpId:
+    """Deterministic, content-addressed operation ID for a list item.
+
+    ``path_repr``   textual form of the cursor path to the containing list;
+    ``content``     the JSON value of the item;
+    ``occurrence``  0-based index among *identical* items within one incoming
+                    value, so ``["a", "a"]`` yields two distinct IDs.
+    """
+
+    if occurrence < 0:
+        raise ValueError("occurrence must be non-negative")
+    material = f"{path_repr}\x00{canonical_json(content)}\x00{occurrence}"
+    return OpId(CONTENT_COUNTER, "h:" + sha256_hex(material.encode("utf-8"))[:24])
+
+
+def is_content_id(op_id: OpId) -> bool:
+    """True if this ID came from :func:`content_id`."""
+
+    return op_id.actor.startswith("h:")

@@ -1,0 +1,212 @@
+"""Document tree nodes: maps, lists, slots, and their metadata.
+
+Structure follows Kleppmann & Beresford:
+
+* A **map node** binds string keys to *slots*.
+* A **list node** is an RGA sequence of *cells*; each cell owns a slot.
+* A **slot** is where values live.  It can simultaneously hold a multi-value
+  register of leaf strings, a child map, and a child list (concurrent
+  operations may have written different types); conversion resolves the
+  winning branch deterministically.  The slot's *presence set* records the
+  IDs of all operations that asserted its existence — a slot (or cell) is
+  visible while its presence set is non-empty, which gives observed-remove /
+  add-wins deletion semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .ids import OpId
+
+
+@dataclass
+class DocumentStats:
+    """Work counters used by the benchmark cost model.
+
+    * ``ops_applied`` — operations executed against the document.
+    * ``ops_buffered`` — operations that had to wait for dependencies.
+    * ``nodes_created`` — slots/cells materialized.
+    * ``list_scan_steps`` — list cells traversed while resolving anchors and
+      orders; this is the term that grows with document size and makes
+      per-block merge cost superlinear (the effect behind Figure 3).
+    """
+
+    ops_applied: int = 0
+    ops_buffered: int = 0
+    nodes_created: int = 0
+    list_scan_steps: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "ops_applied": self.ops_applied,
+            "ops_buffered": self.ops_buffered,
+            "nodes_created": self.nodes_created,
+            "list_scan_steps": self.list_scan_steps,
+        }
+
+
+@dataclass
+class Slot:
+    """A value container: MVR leaf values + optional child map / child list."""
+
+    presence: set[OpId] = field(default_factory=set)
+    leaf_values: dict[OpId, str] = field(default_factory=dict)
+    map_child: Optional["MapNode"] = None
+    list_child: Optional["ListNode"] = None
+    #: Highest op ID that wrote each branch — used to pick the winning branch
+    #: at conversion time when concurrent ops assigned different types.
+    branch_ops: dict[str, OpId] = field(default_factory=dict)
+
+    @property
+    def visible(self) -> bool:
+        return bool(self.presence)
+
+    def touch(self, op_id: OpId) -> None:
+        """Record that ``op_id`` asserted this slot on its cursor path."""
+
+        self.presence.add(op_id)
+
+    def note_branch(self, branch: str, op_id: OpId) -> None:
+        current = self.branch_ops.get(branch)
+        if current is None or op_id > current:
+            self.branch_ops[branch] = op_id
+
+    def winning_branch(self) -> Optional[str]:
+        """The branch written by the highest op ID, or ``None`` if empty."""
+
+        candidates = {
+            branch: op_id
+            for branch, op_id in self.branch_ops.items()
+            if (branch == "leaf" and self.leaf_values)
+            or (branch == "map" and self.map_child is not None)
+            or (branch == "list" and self.list_child is not None)
+        }
+        if not candidates:
+            return None
+        return max(candidates.items(), key=lambda item: item[1])[0]
+
+    def winning_leaf(self) -> Optional[str]:
+        """Deterministic resolution of the multi-value register: highest ID."""
+
+        if not self.leaf_values:
+            return None
+        winner = max(self.leaf_values)
+        return self.leaf_values[winner]
+
+
+@dataclass
+class MapNode:
+    """An unordered mapping of string keys to slots."""
+
+    slots: dict[str, Slot] = field(default_factory=dict)
+
+    def slot(self, key: str) -> Optional[Slot]:
+        return self.slots.get(key)
+
+    def ensure_slot(self, key: str, stats: DocumentStats) -> Slot:
+        slot = self.slots.get(key)
+        if slot is None:
+            slot = Slot()
+            self.slots[key] = slot
+            stats.nodes_created += 1
+        return slot
+
+    def visible_keys(self) -> list[str]:
+        return sorted(key for key, slot in self.slots.items() if slot.visible)
+
+
+@dataclass
+class Cell:
+    """One RGA list element: identity, left anchor, and a slot of content."""
+
+    element_id: OpId
+    anchor: Optional[OpId]  # None anchors at the virtual head
+    slot: Slot = field(default_factory=Slot)
+
+    @property
+    def visible(self) -> bool:
+        return self.slot.visible
+
+
+class ListNode:
+    """An RGA-ordered sequence of cells.
+
+    The converged order is: depth-first over the "inserted-after" forest,
+    with concurrent siblings ordered by descending element ID — the classic
+    RGA rule.  The order is cached and invalidated on insert, since blocks
+    repeatedly convert documents after merging many values.
+    """
+
+    __slots__ = ("cells", "_order_cache")
+
+    def __init__(self) -> None:
+        self.cells: dict[OpId, Cell] = {}
+        self._order_cache: Optional[list[OpId]] = None
+
+    def __contains__(self, element_id: OpId) -> bool:
+        return element_id in self.cells
+
+    def get(self, element_id: OpId) -> Optional[Cell]:
+        return self.cells.get(element_id)
+
+    def insert(self, cell: Cell, stats: DocumentStats) -> None:
+        """Insert a new cell.  Re-inserting the same ID is the caller's
+        idempotence responsibility (checked in the document layer)."""
+
+        if cell.element_id in self.cells:
+            raise ValueError(f"duplicate list element ID: {cell.element_id}")
+        if cell.anchor is not None and cell.anchor not in self.cells:
+            raise ValueError(f"unknown anchor: {cell.anchor}")
+        self.cells[cell.element_id] = cell
+        self._order_cache = None
+        stats.nodes_created += 1
+
+    def ordered_ids(self, stats: Optional[DocumentStats] = None) -> list[OpId]:
+        """All element IDs (visible or not) in converged order."""
+
+        if self._order_cache is None:
+            children: dict[Optional[OpId], list[OpId]] = {}
+            for cell in self.cells.values():
+                children.setdefault(cell.anchor, []).append(cell.element_id)
+            for siblings in children.values():
+                siblings.sort(reverse=True)
+            order: list[OpId] = []
+            stack: list[OpId] = list(reversed(children.get(None, [])))
+            while stack:
+                element_id = stack.pop()
+                order.append(element_id)
+                for child in reversed(children.get(element_id, [])):
+                    stack.append(child)
+            self._order_cache = order
+            if stats is not None:
+                stats.list_scan_steps += len(order)
+        return self._order_cache
+
+    def visible_cells(self, stats: Optional[DocumentStats] = None) -> Iterator[Cell]:
+        for element_id in self.ordered_ids(stats):
+            cell = self.cells[element_id]
+            if cell.visible:
+                yield cell
+
+    def last_visible_id(self, stats: Optional[DocumentStats] = None) -> Optional[OpId]:
+        """Element ID of the last visible cell (the append anchor).
+
+        Scanning to the end is what real RGA appends pay; the scan length is
+        charged to ``stats.list_scan_steps`` and drives the superlinear
+        per-block merge cost (Figure 3's mechanism).
+        """
+
+        last: Optional[OpId] = None
+        steps = 0
+        for element_id in self.ordered_ids(stats):
+            steps += 1
+            if self.cells[element_id].visible:
+                last = element_id
+        if stats is not None:
+            stats.list_scan_steps += steps
+        return last
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.visible_cells())

@@ -1,0 +1,157 @@
+"""Wire serialization for JSON-CRDT operations.
+
+Operation-based CRDTs replicate by shipping operations; this module gives
+:class:`~repro.crdt.json.operation.Operation` (with its cursor and mutation)
+a canonical JSON form, so op logs can be persisted, exchanged between
+processes, or embedded in transactions.  Round-tripping is exact:
+``operation_from_dict(operation_to_dict(op)) == op``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...common.clock import LamportTimestamp
+from ...common.errors import SerializationError
+from ...common.serialization import from_bytes, to_bytes
+from .cursor import Cursor, ListStep, MapStep, Step
+from .mutation import (
+    AssignKey,
+    DeleteElem,
+    DeleteKey,
+    InsertAfter,
+    Mutation,
+    Payload,
+    PayloadKind,
+)
+from .operation import Operation
+
+
+def _step_to_dict(step: Step) -> dict:
+    if isinstance(step, MapStep):
+        return {"map": step.key}
+    return {"list": str(step.element_id)}
+
+
+def _step_from_dict(raw: dict) -> Step:
+    if "map" in raw:
+        return MapStep(raw["map"])
+    if "list" in raw:
+        return ListStep(LamportTimestamp.parse(raw["list"]))
+    raise SerializationError(f"unknown cursor step: {raw!r}")
+
+
+def cursor_to_dict(cursor: Cursor) -> list:
+    return [_step_to_dict(step) for step in cursor.steps]
+
+
+def cursor_from_dict(raw: list) -> Cursor:
+    return Cursor(tuple(_step_from_dict(step) for step in raw))
+
+
+def _payload_to_dict(payload: Payload) -> dict:
+    result: dict[str, Any] = {"kind": payload.kind.value}
+    if payload.kind is PayloadKind.LEAF:
+        result["leaf"] = payload.leaf
+    return result
+
+
+def _payload_from_dict(raw: dict) -> Payload:
+    kind = PayloadKind(raw["kind"])
+    if kind is PayloadKind.LEAF:
+        return Payload.string(raw["leaf"])
+    return Payload(kind)
+
+
+def mutation_to_dict(mutation: Mutation) -> dict:
+    if isinstance(mutation, AssignKey):
+        return {
+            "type": "assign",
+            "key": mutation.key,
+            "payload": _payload_to_dict(mutation.payload),
+            "overwrites": sorted(str(op_id) for op_id in mutation.overwrites),
+        }
+    if isinstance(mutation, InsertAfter):
+        return {
+            "type": "insert",
+            "anchor": str(mutation.anchor) if mutation.anchor is not None else None,
+            "payload": _payload_to_dict(mutation.payload),
+        }
+    if isinstance(mutation, DeleteKey):
+        return {
+            "type": "delete-key",
+            "key": mutation.key,
+            "observed": sorted(str(op_id) for op_id in mutation.observed),
+        }
+    if isinstance(mutation, DeleteElem):
+        return {
+            "type": "delete-elem",
+            "element": str(mutation.element_id),
+            "observed": sorted(str(op_id) for op_id in mutation.observed),
+        }
+    raise SerializationError(f"unknown mutation type: {type(mutation).__name__}")
+
+
+def mutation_from_dict(raw: dict) -> Mutation:
+    mutation_type = raw.get("type")
+    if mutation_type == "assign":
+        return AssignKey(
+            key=raw["key"],
+            payload=_payload_from_dict(raw["payload"]),
+            overwrites=frozenset(
+                LamportTimestamp.parse(text) for text in raw["overwrites"]
+            ),
+        )
+    if mutation_type == "insert":
+        anchor = raw.get("anchor")
+        return InsertAfter(
+            anchor=LamportTimestamp.parse(anchor) if anchor is not None else None,
+            payload=_payload_from_dict(raw["payload"]),
+        )
+    if mutation_type == "delete-key":
+        return DeleteKey(
+            key=raw["key"],
+            observed=frozenset(LamportTimestamp.parse(t) for t in raw["observed"]),
+        )
+    if mutation_type == "delete-elem":
+        return DeleteElem(
+            element_id=LamportTimestamp.parse(raw["element"]),
+            observed=frozenset(LamportTimestamp.parse(t) for t in raw["observed"]),
+        )
+    raise SerializationError(f"unknown mutation type: {mutation_type!r}")
+
+
+def operation_to_dict(operation: Operation) -> dict:
+    """Canonical JSON form of one operation."""
+
+    return {
+        "id": str(operation.id),
+        "deps": sorted(str(dep) for dep in operation.deps),
+        "cursor": cursor_to_dict(operation.cursor),
+        "mutation": mutation_to_dict(operation.mutation),
+    }
+
+
+def operation_from_dict(raw: dict) -> Operation:
+    try:
+        return Operation(
+            id=LamportTimestamp.parse(raw["id"]),
+            deps=frozenset(LamportTimestamp.parse(dep) for dep in raw["deps"]),
+            cursor=cursor_from_dict(raw["cursor"]),
+            mutation=mutation_from_dict(raw["mutation"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed operation: {exc}") from exc
+
+
+def operations_to_bytes(operations: list[Operation]) -> bytes:
+    """Serialize an op log to canonical bytes."""
+
+    return to_bytes([operation_to_dict(op) for op in operations])
+
+
+def operations_from_bytes(data: bytes) -> list[Operation]:
+    raw = from_bytes(data)
+    if not isinstance(raw, list):
+        raise SerializationError("op log bytes must decode to a list")
+    return [operation_from_dict(entry) for entry in raw]

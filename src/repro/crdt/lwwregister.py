@@ -1,0 +1,66 @@
+"""Last-writer-wins register, with (timestamp, actor) tie-breaking."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..common.clock import LamportTimestamp
+from .base import StateCRDT
+
+
+class LWWRegister(StateCRDT):
+    """State-based register where the highest Lamport timestamp wins.
+
+    Ties on the counter are broken by actor ID, so merge stays deterministic
+    and commutative even for genuinely concurrent writes.
+    """
+
+    type_name = "lww-register"
+
+    __slots__ = ("_value", "_stamp")
+
+    def __init__(self, value: Any = None, stamp: Optional[LamportTimestamp] = None) -> None:
+        self._value = value
+        self._stamp = stamp
+
+    def assign(self, value: Any, stamp: LamportTimestamp) -> "LWWRegister":
+        """Write ``value`` at ``stamp``.  Stale stamps are kept but will lose
+        every merge, mirroring how a late replica's write is absorbed."""
+
+        return LWWRegister(value, stamp)
+
+    @property
+    def stamp(self) -> Optional[LamportTimestamp]:
+        return self._stamp
+
+    def merge(self, other: "LWWRegister") -> "LWWRegister":
+        self._require_same_type(other)
+        if other._stamp is None:
+            return LWWRegister(self._value, self._stamp)
+        if self._stamp is None or other._stamp > self._stamp:
+            return LWWRegister(other._value, other._stamp)
+        if other._stamp == self._stamp and other._value != self._value:
+            # Equal stamps should not happen under actor-unique clocks, but
+            # merge must stay commutative even then: highest canonical value.
+            from ..common.serialization import canonical_json
+
+            if canonical_json(other._value) > canonical_json(self._value):
+                return LWWRegister(other._value, other._stamp)
+        return LWWRegister(self._value, self._stamp)
+
+    def value(self) -> Any:
+        return self._value
+
+    def to_dict(self) -> dict:
+        return {
+            "value": self._value,
+            "stamp": str(self._stamp) if self._stamp is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LWWRegister":
+        stamp = payload.get("stamp")
+        return cls(
+            payload.get("value"),
+            LamportTimestamp.parse(stamp) if stamp is not None else None,
+        )

@@ -1,0 +1,117 @@
+"""Observed-remove set (OR-Set) with add-wins semantics.
+
+Each ``add`` creates a unique tag; ``remove`` tombstones exactly the tags it
+has *observed*.  A concurrent add therefore survives a concurrent remove
+(add-wins), which is the behaviour Riak's sets and the paper's JSON-CRDT list
+semantics build on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..common.serialization import canonical_json
+from .base import StateCRDT
+
+
+class ORSet(StateCRDT):
+    """State-based observed-remove set of JSON values."""
+
+    type_name = "or-set"
+
+    __slots__ = ("_adds", "_tombstones")
+
+    def __init__(
+        self,
+        adds: dict[str, dict[str, Any]] | None = None,
+        tombstones: dict[str, set[str]] | None = None,
+    ) -> None:
+        # element-key -> {tag: element}; tombstones: element-key -> {tag,...}
+        self._adds: dict[str, dict[str, Any]] = {
+            key: dict(tags) for key, tags in (adds or {}).items()
+        }
+        self._tombstones: dict[str, set[str]] = {
+            key: set(tags) for key, tags in (tombstones or {}).items()
+        }
+
+    # -- mutation (functional) ------------------------------------------------
+
+    def add(self, element: Any, tag: str) -> "ORSet":
+        """Add ``element`` under a globally unique ``tag``.
+
+        Callers supply the tag (e.g. a Lamport timestamp string) so that the
+        type itself stays deterministic and easy to test.
+        """
+
+        if not tag:
+            raise ValueError("tag must be non-empty")
+        key = canonical_json(element)
+        new = ORSet(self._adds, self._tombstones)
+        new._adds.setdefault(key, {})[tag] = element
+        return new
+
+    def remove(self, element: Any) -> "ORSet":
+        """Remove every currently-observed tag of ``element``."""
+
+        key = canonical_json(element)
+        new = ORSet(self._adds, self._tombstones)
+        observed = set(new._adds.get(key, {}))
+        if observed:
+            new._tombstones.setdefault(key, set()).update(observed)
+        return new
+
+    # -- queries -------------------------------------------------------------
+
+    def _live_tags(self, key: str) -> dict[str, Any]:
+        dead = self._tombstones.get(key, set())
+        return {tag: el for tag, el in self._adds.get(key, {}).items() if tag not in dead}
+
+    def __contains__(self, element: Any) -> bool:
+        return bool(self._live_tags(canonical_json(element)))
+
+    def __iter__(self) -> Iterator[Any]:
+        for key in sorted(self._adds):
+            live = self._live_tags(key)
+            if live:
+                # All tags map to structurally identical elements.
+                yield next(iter(live.values()))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    # -- lattice -------------------------------------------------------------
+
+    def merge(self, other: "ORSet") -> "ORSet":
+        self._require_same_type(other)
+        merged_adds: dict[str, dict[str, Any]] = {}
+        for source in (self._adds, other._adds):
+            for key, tags in source.items():
+                merged_adds.setdefault(key, {}).update(tags)
+        merged_tombs: dict[str, set[str]] = {}
+        for source in (self._tombstones, other._tombstones):
+            for key, tags in source.items():
+                merged_tombs.setdefault(key, set()).update(tags)
+        return ORSet(merged_adds, merged_tombs)
+
+    def value(self) -> list:
+        return list(self)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "adds": {
+                key: {tag: el for tag, el in sorted(tags.items())}
+                for key, tags in sorted(self._adds.items())
+            },
+            "tombstones": {
+                key: sorted(tags) for key, tags in sorted(self._tombstones.items()) if tags
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ORSet":
+        return cls(
+            {k: dict(v) for k, v in payload["adds"].items()},
+            {k: set(v) for k, v in payload["tombstones"].items()},
+        )

@@ -1,0 +1,64 @@
+"""Two-phase set (2P-Set): a G-Set of additions and a G-Set of tombstones.
+
+An element can be added and removed, but never re-added — the tombstone wins
+forever.  Included because it is the simplest set with removal and a good
+teaching counterpoint to :class:`~repro.crdt.orset.ORSet` in the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..common.serialization import canonical_json
+from .base import StateCRDT
+from .gset import GSet
+
+
+class TwoPhaseSet(StateCRDT):
+    """State-based add/remove set with permanent tombstones."""
+
+    type_name = "2p-set"
+
+    __slots__ = ("_added", "_removed")
+
+    def __init__(self, added: GSet | None = None, removed: GSet | None = None) -> None:
+        self._added = added if added is not None else GSet()
+        self._removed = removed if removed is not None else GSet()
+
+    def add(self, element: Any) -> "TwoPhaseSet":
+        return TwoPhaseSet(self._added.add(element), self._removed)
+
+    def remove(self, element: Any) -> "TwoPhaseSet":
+        """Tombstone ``element``.  Removing a never-added element is legal
+        (it just pre-blocks any future add), matching the classic semantics."""
+
+        return TwoPhaseSet(self._added, self._removed.add(element))
+
+    def __contains__(self, element: Any) -> bool:
+        return element in self._added and element not in self._removed
+
+    def __iter__(self) -> Iterator[Any]:
+        removed_keys = {canonical_json(e) for e in self._removed}
+        for element in self._added:
+            if canonical_json(element) not in removed_keys:
+                yield element
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def merge(self, other: "TwoPhaseSet") -> "TwoPhaseSet":
+        self._require_same_type(other)
+        return TwoPhaseSet(
+            self._added.merge(other._added),
+            self._removed.merge(other._removed),
+        )
+
+    def value(self) -> list:
+        return sorted(self, key=canonical_json)
+
+    def to_dict(self) -> dict:
+        return {"added": self._added.to_dict(), "removed": self._removed.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TwoPhaseSet":
+        return cls(GSet.from_dict(payload["added"]), GSet.from_dict(payload["removed"]))

@@ -1,0 +1,187 @@
+"""Client / gateway logic: gather endorsements and assemble transactions.
+
+The client side of Steps 1–3 in Figure 1: pick endorsing peers that can
+satisfy the policy, compare the returned read-write sets (Fabric clients
+must receive *identical* proposal responses, otherwise the transaction is
+doomed to fail validation), and assemble the signed envelope.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..common.errors import EndorsementError
+from ..common.hashing import sha256
+from ..common.types import Counterstats
+from .identity import Identity, MembershipRegistry
+from .peer import Peer
+from .policy import EndorsementPolicy
+from .transaction import (
+    EndorsementFailure,
+    Proposal,
+    ProposalResponse,
+    TransactionEnvelope,
+    rwset_hash,
+)
+
+
+@dataclass
+class AssembledTransaction:
+    """Outcome of a successful endorsement round."""
+
+    envelope: TransactionEnvelope
+    responses: tuple[ProposalResponse, ...]
+
+
+@dataclass
+class EndorsementRoundFailure:
+    """Outcome of a failed endorsement round, with per-peer reasons."""
+
+    tx_id: str
+    reason: str
+    failures: tuple[EndorsementFailure, ...] = ()
+
+
+def select_endorsing_orgs(
+    policy: EndorsementPolicy, available_orgs: Sequence[str]
+) -> list[str]:
+    """Choose a minimal set of orgs that can satisfy ``policy``.
+
+    Deterministic: tries smallest subsets first, in sorted order.  Raises
+    :class:`EndorsementError` if no subset of available orgs satisfies it.
+    """
+
+    mentioned = sorted(policy.orgs_mentioned() & set(available_orgs))
+    for size in range(1, len(mentioned) + 1):
+        for combo in itertools.combinations(mentioned, size):
+            if policy.satisfied_by(combo):
+                return list(combo)
+    raise EndorsementError(
+        f"policy {policy} cannot be satisfied by available orgs {sorted(available_orgs)}"
+    )
+
+
+class Client:
+    """A submitting client bound to one identity.
+
+    The transport (how proposals reach peers) is injected by the caller: the
+    synchronous network calls :meth:`endorse_at` directly; the discrete-event
+    network performs the sends itself and uses :meth:`assemble` only.
+    """
+
+    def __init__(self, identity: Identity, membership: MembershipRegistry) -> None:
+        self.identity = identity
+        self.membership = membership
+        self.stats = Counterstats()
+        self._nonce = itertools.count()
+
+    @property
+    def name(self) -> str:
+        return self.identity.qualified_name
+
+    def next_nonce(self) -> int:
+        return next(self._nonce)
+
+    def new_proposal(
+        self,
+        channel: str,
+        chaincode: str,
+        function: str,
+        args: Sequence[str],
+        policy: EndorsementPolicy,
+        submit_time: float = 0.0,
+    ) -> Proposal:
+        self.stats.bump("proposals_created")
+        return Proposal.create(
+            channel=channel,
+            chaincode=chaincode,
+            function=function,
+            args=tuple(args),
+            creator=self.name,
+            policy=policy,
+            nonce=self.next_nonce(),
+            submit_time=submit_time,
+        )
+
+    # -- synchronous endorsement round ----------------------------------------
+
+    def endorse_at(
+        self, proposal: Proposal, peers: Sequence[Peer], timestamp: float = 0.0
+    ) -> Union[AssembledTransaction, EndorsementRoundFailure]:
+        """Collect endorsements from ``peers`` and assemble the envelope."""
+
+        responses: list[ProposalResponse] = []
+        failures: list[EndorsementFailure] = []
+        for peer in peers:
+            outcome = peer.endorse(proposal, timestamp)
+            if isinstance(outcome, ProposalResponse):
+                responses.append(outcome)
+            else:
+                failures.append(outcome)
+        return self.assemble(proposal, responses, failures)
+
+    # -- assembly ----------------------------------------------------------------
+
+    def assemble(
+        self,
+        proposal: Proposal,
+        responses: Sequence[ProposalResponse],
+        failures: Sequence[EndorsementFailure] = (),
+    ) -> Union[AssembledTransaction, EndorsementRoundFailure]:
+        """Group consistent responses and build the envelope.
+
+        Mirrors how the Fabric SDK and VSCC actually interact: a transaction
+        carries exactly one read-write set, and only endorsement signatures
+        over *that* set count towards the policy.  Peers can transiently
+        diverge (one committed a block the other has not yet), so the client
+        groups responses by identical (rwset, result) and picks the largest
+        group that can satisfy the policy, preferring the earliest-received
+        on ties.  Only if no group can satisfy the policy does the round fail.
+        """
+
+        if not responses:
+            self.stats.bump("endorsement_round_failures")
+            return EndorsementRoundFailure(
+                proposal.tx_id, "no endorsements received", tuple(failures)
+            )
+
+        groups: dict[bytes, list[ProposalResponse]] = {}
+        order: list[bytes] = []
+        for response in responses:
+            key = rwset_hash(response.rwset) + response.chaincode_result
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(response)
+
+        chosen: Optional[list[ProposalResponse]] = None
+        for key in sorted(order, key=lambda k: -len(groups[k])):
+            group = groups[key]
+            endorsing_orgs = {
+                self.membership.org_of(response.endorser).name for response in group
+            }
+            if proposal.policy.satisfied_by(endorsing_orgs):
+                chosen = group
+                break
+        if chosen is None:
+            self.stats.bump("endorsement_round_failures")
+            return EndorsementRoundFailure(
+                proposal.tx_id,
+                f"no consistent endorsement group satisfies {proposal.policy}",
+                tuple(failures),
+            )
+
+        reference = chosen[0]
+        reference_hash = rwset_hash(reference.rwset) + reference.chaincode_result
+        payload_hash = sha256(proposal.header_bytes() + reference_hash)
+        envelope = TransactionEnvelope(
+            proposal=proposal,
+            rwset=reference.rwset,
+            endorsements=tuple(response.endorsement for response in chosen),
+            chaincode_result=reference.chaincode_result,
+            client_signature=self.membership.sign_as(self.name, payload_hash),
+        )
+        self.stats.bump("transactions_assembled")
+        return AssembledTransaction(envelope, tuple(chosen))

@@ -1,0 +1,129 @@
+"""The peer/network cost model: how long protocol steps take.
+
+The discrete-event network charges virtual time for each pipeline stage using
+this model.  Constants represent the paper's testbed (16-vCPU VMs, CouchDB
+world state, Kafka ordering, Fabric v1.4) and fall into two groups:
+
+* **Structural constants**, set once from known Fabric v1.4 + CouchDB
+  behaviour and *not* tuned per figure: endorsement service time (chaincode
+  container round-trip), per-read MVCC cost (a CouchDB version lookup),
+  per-distinct-key bulk-write cost, VSCC signature checking, and small
+  network latencies.
+* **Calibrated constants** (``merge_per_op_s``, ``merge_per_scan_step_s``):
+  the per-operation and per-list-scan-step costs of the Go JSON-CRDT merge.
+  These two are fitted in :mod:`repro.bench.calibration` against exactly two
+  commit-bound anchor points of the paper's evaluation (Figure 3 at 1000
+  txs/block and Figure 5 at 6–6 complexity).  Everything else — saturation
+  knees, latency blow-ups, success-count floors, crossovers — emerges from
+  the protocol and queueing dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..sim.latency import Fixed, LatencyModel, LogNormal
+from .peer import CommitWork
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Service times and network latencies for the simulated network."""
+
+    # -- endorsement (per proposal, per peer) --------------------------------
+    #: Base chaincode invocation round-trip (container call, marshalling).
+    endorse_base_s: float = 0.14
+    #: Added per key read during simulation (a CouchDB GET).
+    endorse_per_read_s: float = 0.01
+    #: Added per key written (write-set marshalling).
+    endorse_per_write_s: float = 0.005
+    #: Concurrent chaincode executors per peer.  40 × 155 ms ≈ 258 proposals/s
+    #: per peer — the saturation ceiling behind Figure 6's knee.
+    endorsement_pool_size: int = 40
+
+    # -- validation & commit (per block, per peer) -----------------------------
+    #: Fixed per-block overhead (ledger append, bookkeeping).
+    commit_base_s: float = 0.005
+    #: Endorsement-policy check per transaction (signature verification);
+    #: Fabric parallelizes VSCC, so this is the amortized per-tx cost.
+    vscc_per_tx_s: float = 0.000075
+    #: MVCC read-set check per read: a CouchDB version lookup.
+    mvcc_per_read_s: float = 0.004
+    #: State write per *distinct* key in the block (CouchDB bulk update).
+    write_per_key_s: float = 0.001
+    #: Additional per-KiB cost of written values.
+    write_per_kib_s: float = 0.00005
+
+    # -- CRDT merge (calibrated; see bench.calibration) --------------------------
+    #: Per JSON-CRDT operation applied during the block merge.
+    merge_per_op_s: float = 0.00008
+    #: Per list cell traversed while resolving anchors/orders (the
+    #: superlinear term behind Figure 3).
+    merge_per_scan_step_s: float = 0.0001
+
+    # -- network ------------------------------------------------------------------
+    client_to_peer: LatencyModel = field(default_factory=lambda: LogNormal(0.002, 0.5))
+    peer_to_client: LatencyModel = field(default_factory=lambda: LogNormal(0.002, 0.5))
+    client_to_orderer: LatencyModel = field(default_factory=lambda: LogNormal(0.003, 0.5))
+    orderer_to_peer: LatencyModel = field(default_factory=lambda: LogNormal(0.005, 0.5))
+
+    # -- derived -------------------------------------------------------------------
+
+    def endorse_time(self, n_reads: int, n_writes: int) -> float:
+        """Service time for one proposal simulation on one peer."""
+
+        return (
+            self.endorse_base_s
+            + self.endorse_per_read_s * n_reads
+            + self.endorse_per_write_s * n_writes
+        )
+
+    def commit_time(self, work: CommitWork) -> float:
+        """Service time for validating + committing one block on one peer."""
+
+        return (
+            self.commit_base_s
+            + self.vscc_per_tx_s * work.vscc_checks
+            + self.mvcc_per_read_s * work.mvcc_reads
+            + self.mvcc_per_read_s * work.range_requeries
+            + self.write_per_key_s * work.distinct_keys_written
+            + self.write_per_kib_s * (work.bytes_written / 1024.0)
+            + self.merge_per_op_s * work.merge_ops
+            + self.merge_per_scan_step_s * work.merge_scan_steps
+        )
+
+    def with_merge_constants(
+        self, per_op_s: float, per_scan_step_s: float
+    ) -> "CostModel":
+        """Copy with recalibrated merge constants."""
+
+        return replace(
+            self, merge_per_op_s=per_op_s, merge_per_scan_step_s=per_scan_step_s
+        )
+
+    def endorsement_capacity_tps(self, n_reads: int = 1, n_writes: int = 1) -> float:
+        """Upper bound on proposals/second one peer can endorse."""
+
+        return self.endorsement_pool_size / self.endorse_time(n_reads, n_writes)
+
+
+def zero_latency_model() -> CostModel:
+    """A cost model with all delays zeroed — for functional tests where only
+    protocol behaviour matters and virtual time should stay trivial."""
+
+    return CostModel(
+        endorse_base_s=0.0,
+        endorse_per_read_s=0.0,
+        endorse_per_write_s=0.0,
+        commit_base_s=0.0,
+        vscc_per_tx_s=0.0,
+        mvcc_per_read_s=0.0,
+        write_per_key_s=0.0,
+        write_per_kib_s=0.0,
+        merge_per_op_s=0.0,
+        merge_per_scan_step_s=0.0,
+        client_to_peer=Fixed(0.0),
+        peer_to_client=Fixed(0.0),
+        client_to_orderer=Fixed(0.0),
+        orderer_to_peer=Fixed(0.0),
+    )

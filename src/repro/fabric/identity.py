@@ -1,0 +1,128 @@
+"""Organizations, identities, and the membership service provider (MSP).
+
+Fabric identifies every actor by an X.509 certificate issued by an
+organization's CA; peers verify signatures and map certificates to MSP IDs
+for endorsement-policy evaluation.  The reproduction keeps the same
+*structure* — identities belong to orgs, sign payloads, and are verified
+through a membership registry — but swaps X.509/ECDSA for deterministic
+HMAC-SHA256 with per-identity secrets (see DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import FabricError
+from ..common.hashing import hmac_sign, hmac_verify, sha256
+
+
+@dataclass(frozen=True)
+class Organization:
+    """A Fabric organization (maps 1:1 to an MSP ID)."""
+
+    name: str
+
+    @property
+    def msp_id(self) -> str:
+        return f"{self.name}MSP"
+
+
+@dataclass(frozen=True)
+class Identity:
+    """A signing identity enrolled with an organization."""
+
+    name: str
+    org: Organization
+    _secret: bytes = field(repr=False, default=b"")
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.org.name}.{self.name}"
+
+    def sign(self, payload: bytes) -> bytes:
+        if not self._secret:
+            raise FabricError(f"identity {self.qualified_name} has no enrollment secret")
+        return hmac_sign(self._secret, payload)
+
+    def verify(self, payload: bytes, signature: bytes) -> bool:
+        if not self._secret:
+            return False
+        return hmac_verify(self._secret, payload, signature)
+
+
+@dataclass(frozen=True)
+class SignedPayload:
+    """A payload plus the signer's qualified name and signature bytes."""
+
+    payload_hash: bytes
+    signer: str  # qualified name, e.g. "Org1.peer0"
+    signature: bytes
+
+
+class MembershipRegistry:
+    """The network's view of enrolled identities (a flattened MSP).
+
+    Components hold a reference to the registry to verify signatures and
+    resolve signer organizations during endorsement-policy evaluation.
+    """
+
+    def __init__(self) -> None:
+        self._orgs: dict[str, Organization] = {}
+        self._identities: dict[str, Identity] = {}
+
+    # -- enrollment -------------------------------------------------------------
+
+    def add_org(self, name: str) -> Organization:
+        if name in self._orgs:
+            return self._orgs[name]
+        org = Organization(name)
+        self._orgs[name] = org
+        return org
+
+    def enroll(self, org_name: str, identity_name: str) -> Identity:
+        """Create (or return) an identity with a derived secret."""
+
+        org = self.add_org(org_name)
+        qualified = f"{org_name}.{identity_name}"
+        if qualified in self._identities:
+            return self._identities[qualified]
+        secret = sha256(f"enrollment-secret/{qualified}".encode("utf-8"))
+        identity = Identity(identity_name, org, secret)
+        self._identities[qualified] = identity
+        return identity
+
+    # -- lookups ------------------------------------------------------------------
+
+    def org(self, name: str) -> Organization:
+        try:
+            return self._orgs[name]
+        except KeyError:
+            raise FabricError(f"unknown organization: {name}") from None
+
+    def orgs(self) -> tuple[Organization, ...]:
+        return tuple(self._orgs[name] for name in sorted(self._orgs))
+
+    def identity(self, qualified_name: str) -> Identity:
+        try:
+            return self._identities[qualified_name]
+        except KeyError:
+            raise FabricError(f"unknown identity: {qualified_name}") from None
+
+    def org_of(self, qualified_name: str) -> Organization:
+        return self.identity(qualified_name).org
+
+    # -- verification -----------------------------------------------------------------
+
+    def verify(self, signed: SignedPayload, payload_hash: bytes) -> bool:
+        """Verify a signature against the expected payload hash."""
+
+        if signed.payload_hash != payload_hash:
+            return False
+        identity = self._identities.get(signed.signer)
+        if identity is None:
+            return False
+        return identity.verify(signed.payload_hash, signed.signature)
+
+    def sign_as(self, qualified_name: str, payload_hash: bytes) -> SignedPayload:
+        identity = self.identity(qualified_name)
+        return SignedPayload(payload_hash, qualified_name, identity.sign(payload_hash))

@@ -1,0 +1,130 @@
+"""The peer ledger: blockchain store + world state + key history.
+
+A peer's ledger holds the append-only chain of committed blocks (with their
+validation metadata), the world state database derived from them, and the
+per-key modification history that backs ``GetHistoryForKey``.  The class
+also provides :meth:`rebuild_state`, replaying the chain from genesis into a
+fresh state database — the invariant test that the world state really is a
+pure function of the blockchain (§2.1 of the paper: "executing all valid
+transactions included in the blockchain ... results in the current state").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.errors import LedgerError
+from ..common.types import KeyModification, ValidationCode, Version
+from .block import GENESIS_PREVIOUS_HASH, CommittedBlock
+from .statedb import StateDB
+
+
+class Ledger:
+    """One peer's ledger."""
+
+    def __init__(self) -> None:
+        self.state = StateDB()
+        self._blocks: list[CommittedBlock] = []
+        self._tx_index: dict[str, tuple[int, int]] = {}  # tx_id -> (block, index)
+        self._history: dict[str, list[KeyModification]] = {}
+
+    # -- chain accessors ---------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Number of committed blocks (the next expected block number)."""
+
+        return len(self._blocks)
+
+    @property
+    def last_hash(self) -> bytes:
+        if not self._blocks:
+            return GENESIS_PREVIOUS_HASH
+        return self._blocks[-1].block.header.hash()
+
+    def block_at(self, number: int) -> CommittedBlock:
+        try:
+            return self._blocks[number]
+        except IndexError:
+            raise LedgerError(f"no block number {number} (height={self.height})") from None
+
+    def blocks(self) -> tuple[CommittedBlock, ...]:
+        return tuple(self._blocks)
+
+    def has_transaction(self, tx_id: str) -> bool:
+        return tx_id in self._tx_index
+
+    def transaction_status(self, tx_id: str) -> Optional[ValidationCode]:
+        location = self._tx_index.get(tx_id)
+        if location is None:
+            return None
+        block_num, tx_index = location
+        return self._blocks[block_num].metadata.code_for(tx_index)
+
+    def history_for_key(self, key: str) -> tuple[KeyModification, ...]:
+        return tuple(self._history.get(key, ()))
+
+    # -- commit -------------------------------------------------------------------
+
+    def append_block(self, committed: CommittedBlock) -> None:
+        """Append a validated block.  The caller (the peer) has already
+        applied the writes to ``self.state``; this records chain structure,
+        the tx index, and key history."""
+
+        block = committed.block
+        if block.number != self.height:
+            raise LedgerError(
+                f"block {block.number} out of order (expected {self.height})"
+            )
+        if not block.verify_integrity(expected_previous_hash=self.last_hash):
+            raise LedgerError(f"block {block.number} fails integrity check")
+        self._blocks.append(committed)
+        for tx_index, tx in enumerate(block.transactions):
+            self._tx_index.setdefault(tx.tx_id, (block.number, tx_index))
+        for tx_index, write in committed.writes_applied():
+            tx = block.transactions[tx_index]
+            self._history.setdefault(write.key, []).append(
+                KeyModification(
+                    tx_id=tx.tx_id,
+                    value=write.value,
+                    is_delete=write.is_delete,
+                    version=Version(block.number, tx_index),
+                )
+            )
+
+    # -- replay ---------------------------------------------------------------------
+
+    def rebuild_state(self) -> StateDB:
+        """Replay the chain into a fresh state DB using recorded metadata.
+
+        Returns the rebuilt database; callers compare it with ``self.state``.
+        """
+
+        rebuilt = StateDB()
+        for committed in self._blocks:
+            block = committed.block
+            for tx_index, write in committed.writes_applied():
+                version = Version(block.number, tx_index)
+                rebuilt.apply_write(write.key, write.value, version, write.is_delete)
+        return rebuilt
+
+    def verify_chain(self) -> bool:
+        """Validate every hash link from genesis to the tip."""
+
+        previous = GENESIS_PREVIOUS_HASH
+        for committed in self._blocks:
+            if not committed.block.verify_integrity(expected_previous_hash=previous):
+                return False
+            previous = committed.block.header.hash()
+        return True
+
+    # -- statistics -------------------------------------------------------------------
+
+    def count_statuses(self) -> dict[str, int]:
+        """Validation-code histogram across all committed transactions."""
+
+        counts: dict[str, int] = {}
+        for committed in self._blocks:
+            for code in committed.metadata.flags:
+                counts[code.name] = counts.get(code.name, 0) + 1
+        return counts

@@ -1,0 +1,215 @@
+"""A synchronous, in-process Fabric network — no simulation clock.
+
+:class:`LocalNetwork` wires the pure protocol components (peers, ordering
+service, clients) together for unit tests, examples, and anywhere timing is
+irrelevant.  Every call drives the full Execute-Order-Validate lifecycle;
+blocks are dispatched to *all* peers as they are cut, and :meth:`flush`
+force-cuts the pending batch (standing in for the batch timeout).
+
+The constructor takes a ``peer_factory`` so the same wiring serves vanilla
+Fabric and FabricCRDT (see :func:`repro.core.network.crdt_network`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+from ..common.config import NetworkConfig
+from ..common.errors import EndorsementError, FabricError
+from ..common.types import Json, TxStatus, ValidationCode
+from .block import Block, CommittedBlock
+from .chaincode import Chaincode, ChaincodeRegistry
+from .client import Client, EndorsementRoundFailure, select_endorsing_orgs
+from .identity import MembershipRegistry
+from .ledger import Ledger
+from .orderer import OrderingService
+from .peer import Peer
+from .policy import EndorsementPolicy, or_policy
+from .statedb import StateDB
+
+PeerFactory = Callable[..., Peer]
+
+
+class LocalNetwork:
+    """Synchronous Fabric network with the paper's default topology."""
+
+    def __init__(
+        self,
+        config: Optional[NetworkConfig] = None,
+        peer_factory: Optional[PeerFactory] = None,
+    ) -> None:
+        self.config = config if config is not None else NetworkConfig()
+        self.membership = MembershipRegistry()
+        self.chaincodes = ChaincodeRegistry()
+        self._policies: dict[str, EndorsementPolicy] = {}
+        factory = peer_factory if peer_factory is not None else Peer
+
+        topology = self.config.topology
+        self.peers: list[Peer] = []
+        for org_name in topology.org_names:
+            for peer_index in range(topology.peers_per_org):
+                identity = self.membership.enroll(org_name, f"peer{peer_index}")
+                self.peers.append(factory(identity, self.membership, self.chaincodes))
+
+        self.orderer = OrderingService(self.config.orderer)
+        self.clients = [
+            Client(
+                self.membership.enroll(
+                    topology.org_names[i % topology.num_orgs], f"client{i}"
+                ),
+                self.membership,
+            )
+            for i in range(4)
+        ]
+        #: Transaction statuses observed on the anchor peer, by tx ID.
+        self.statuses: dict[str, TxStatus] = {}
+        self.anchor_peer.events.subscribe(self._on_commit)
+
+    # -- topology accessors ------------------------------------------------------
+
+    @property
+    def anchor_peer(self) -> Peer:
+        return self.peers[0]
+
+    @property
+    def org_names(self) -> tuple[str, ...]:
+        return self.config.topology.org_names
+
+    def peers_of(self, org_name: str) -> list[Peer]:
+        return [peer for peer in self.peers if peer.org_name == org_name]
+
+    # -- deployment ----------------------------------------------------------------
+
+    def deploy(self, chaincode: Chaincode, policy: Optional[EndorsementPolicy] = None) -> None:
+        """Deploy a chaincode on the channel with an endorsement policy.
+
+        The default policy is ``OR`` over all organizations, which is what
+        the paper's Caliper benchmarks effectively use.
+        """
+
+        self.chaincodes.deploy(chaincode)
+        self._policies[chaincode.name] = (
+            policy if policy is not None else or_policy(*self.org_names)
+        )
+
+    def policy_for(self, chaincode_name: str) -> EndorsementPolicy:
+        try:
+            return self._policies[chaincode_name]
+        except KeyError:
+            raise FabricError(f"chaincode {chaincode_name!r} not deployed") from None
+
+    # -- transaction lifecycle -------------------------------------------------------
+
+    def invoke(
+        self,
+        chaincode: str,
+        function: str,
+        args: Sequence[str] = (),
+        client_index: int = 0,
+        now: float = 0.0,
+    ) -> Union[str, EndorsementRoundFailure]:
+        """Run one transaction through endorse → order → (maybe) commit.
+
+        Returns the transaction ID on successful submission (the transaction
+        commits when its block is cut — immediately if the block filled, or
+        on :meth:`flush`), or the endorsement failure.
+        """
+
+        client = self.clients[client_index % len(self.clients)]
+        policy = self.policy_for(chaincode)
+        proposal = client.new_proposal(
+            self.config.topology.channel, chaincode, function, args, policy, now
+        )
+        endorsing_orgs = select_endorsing_orgs(policy, self.org_names)
+        endorsing_peers = [self.peers_of(org)[0] for org in endorsing_orgs]
+        outcome = client.endorse_at(proposal, endorsing_peers, now)
+        if isinstance(outcome, EndorsementRoundFailure):
+            return outcome
+        if outcome.envelope.rwset.is_read_only:
+            # Read transactions are not ordered or committed (paper §3).
+            return proposal.tx_id
+        self._dispatch(self.orderer.submit(outcome.envelope, now), now)
+        return proposal.tx_id
+
+    def query(
+        self, chaincode: str, function: str, args: Sequence[str] = (), client_index: int = 0
+    ) -> Json:
+        """Evaluate a read-only invocation against the anchor peer."""
+
+        client = self.clients[client_index % len(self.clients)]
+        policy = self.policy_for(chaincode)
+        proposal = client.new_proposal(
+            self.config.topology.channel, chaincode, function, args, policy, 0.0
+        )
+        outcome = client.endorse_at(proposal, [self.anchor_peer])
+        if isinstance(outcome, EndorsementRoundFailure):
+            raise EndorsementError(outcome.reason)
+        from ..common.serialization import from_bytes
+
+        return from_bytes(outcome.envelope.chaincode_result)
+
+    def flush(self, now: float = 0.0) -> Optional[Block]:
+        """Force-cut the pending batch and commit it everywhere."""
+
+        block = self.orderer.flush(now)
+        if block is not None:
+            self._dispatch([block], now)
+        return block
+
+    def _dispatch(self, blocks: Sequence[Block], now: float) -> None:
+        for block in blocks:
+            for peer in self.peers:
+                peer.validate_and_commit(block, commit_time=now)
+
+    def _on_commit(self, committed: CommittedBlock, peer_name: str) -> None:
+        for tx_index, tx in enumerate(committed.block.transactions):
+            self.statuses[tx.tx_id] = TxStatus(
+                tx_id=tx.tx_id,
+                code=committed.metadata.code_for(tx_index),
+                block_num=committed.block.number,
+                tx_num=tx_index,
+                submit_time=tx.proposal.submit_time,
+                commit_time=committed.commit_time,
+            )
+
+    # -- inspection --------------------------------------------------------------------
+
+    def status_of(self, tx_id: str) -> Optional[ValidationCode]:
+        status = self.statuses.get(tx_id)
+        return status.code if status is not None else None
+
+    def state_of(self, key: str) -> Optional[Json]:
+        """Committed JSON value of ``key`` on the anchor peer."""
+
+        from ..common.serialization import from_bytes
+
+        raw = self.anchor_peer.ledger.state.get_value(key)
+        return from_bytes(raw) if raw is not None else None
+
+    def ledger_of(self, peer_index: int = 0) -> Ledger:
+        return self.peers[peer_index].ledger
+
+    def world_states_converged(self) -> bool:
+        """True if every peer holds an identical world state."""
+
+        reference = self.anchor_peer.ledger.state.snapshot_versions()
+        for peer in self.peers[1:]:
+            if peer.ledger.state.snapshot_versions() != reference:
+                return False
+            for key in reference:
+                if peer.ledger.state.get_value(key) != self.anchor_peer.ledger.state.get_value(key):
+                    return False
+        return True
+
+    def assert_states_converged(self) -> None:
+        if not self.world_states_converged():
+            raise FabricError("peer world states diverged")
+
+    def success_count(self) -> int:
+        return sum(1 for status in self.statuses.values() if status.succeeded)
+
+    def failure_count(self) -> int:
+        return sum(1 for status in self.statuses.values() if not status.succeeded)
+
+    def world_state(self) -> StateDB:
+        return self.anchor_peer.ledger.state

@@ -1,0 +1,149 @@
+"""The ordering service: total order + block cutting (pure logic).
+
+Models Fabric's Kafka-based orderer as seen by the rest of the system: a
+single FIFO total order over submitted envelopes, batched into blocks by
+exactly Fabric's three cut triggers —
+
+* the batch reached ``max_message_count`` transactions;
+* adding the next transaction would exceed ``preferred_max_bytes`` (an
+  oversized transaction is cut into its own block);
+* ``batch_timeout_s`` elapsed since the first transaction of the batch.
+
+Timing (when the timeout *fires*) belongs to the discrete-event layer; this
+class only answers "what would be cut, and when is the deadline?".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.config import OrdererConfig
+from ..common.errors import OrderingError
+from ..common.types import Counterstats
+from .block import GENESIS_PREVIOUS_HASH, Block
+from .transaction import TransactionEnvelope
+
+
+class OrderingService:
+    """Single-channel ordering service."""
+
+    def __init__(self, config: OrdererConfig) -> None:
+        self.config = config
+        self._pending: list[TransactionEnvelope] = []
+        self._pending_bytes = 0
+        self._next_number = 0
+        self._last_hash = GENESIS_PREVIOUS_HASH
+        #: Incremented on every cut; lets the timing layer discard stale timers.
+        self.batch_epoch = 0
+        #: Time the current batch started (first pending tx), None if empty.
+        self.batch_start_time: Optional[float] = None
+        self.stats = Counterstats()
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    @property
+    def next_block_number(self) -> int:
+        return self._next_number
+
+    def timeout_deadline(self) -> Optional[float]:
+        """Absolute time at which the current batch must be cut, if any."""
+
+        if self.batch_start_time is None:
+            return None
+        return self.batch_start_time + self.config.batch_timeout_s
+
+    def resume_from(self, next_block_number: int, last_hash: bytes) -> None:
+        """Continue an existing chain (orderer restart / test setup)."""
+
+        if next_block_number < 0:
+            raise OrderingError("block numbers cannot be negative")
+        if self._pending:
+            raise OrderingError("cannot resume with transactions pending")
+        self._next_number = next_block_number
+        self._last_hash = last_hash
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, envelope: TransactionEnvelope, now: float = 0.0) -> list[Block]:
+        """Append an envelope to the total order; returns any blocks cut.
+
+        A submission can cut up to two blocks: the pending batch (if the new
+        envelope would overflow ``preferred_max_bytes``) and an oversized
+        envelope's own block.
+        """
+
+        self.stats.bump("envelopes_received")
+        blocks: list[Block] = []
+        size = envelope.byte_size()
+
+        if (
+            self._pending
+            and self._pending_bytes + size > self.config.preferred_max_bytes
+        ):
+            blocks.append(self._cut("bytes", now))
+
+        if size > self.config.preferred_max_bytes:
+            # An envelope larger than the preferred maximum forms its own block.
+            self._admit(envelope, size, now)
+            blocks.append(self._cut("bytes", now))
+            return blocks
+
+        self._admit(envelope, size, now)
+        if len(self._pending) >= self.config.max_message_count:
+            blocks.append(self._cut("count", now))
+        return blocks
+
+    def _admit(self, envelope: TransactionEnvelope, size: int, now: float) -> None:
+        if self.batch_start_time is None:
+            self.batch_start_time = now
+        self._pending.append(envelope)
+        self._pending_bytes += size
+
+    # -- cutting ---------------------------------------------------------------
+
+    def cut_on_timeout(self, now: float, epoch: int) -> Optional[Block]:
+        """Cut the pending batch if ``epoch`` is still the current one.
+
+        The timing layer calls this when a timer it started at batch epoch
+        ``epoch`` fires; a stale epoch means the batch was already cut.
+        """
+
+        if epoch != self.batch_epoch or not self._pending:
+            return None
+        return self._cut("timeout", now)
+
+    def flush(self, now: float = 0.0) -> Optional[Block]:
+        """Force-cut whatever is pending (end of an experiment)."""
+
+        if not self._pending:
+            return None
+        return self._cut("flush", now)
+
+    def _cut(self, reason: str, now: float) -> Block:
+        if not self._pending:
+            raise OrderingError("cut with no pending transactions")
+        transactions = tuple(self._pending)
+        self._pending = []
+        self._pending_bytes = 0
+        self.batch_start_time = None
+        self.batch_epoch += 1
+        block = Block.build(
+            number=self._next_number,
+            previous_hash=self._last_hash,
+            transactions=transactions,
+            cut_reason=reason,
+            cut_time=now,
+        )
+        self._next_number += 1
+        self._last_hash = block.header.hash()
+        self.stats.bump("blocks_cut")
+        self.stats.bump(f"blocks_cut_{reason}")
+        return block

@@ -1,0 +1,343 @@
+"""The Fabric peer: endorsement, validation (VSCC + MVCC), and commit.
+
+This module implements the *protocol logic* only — no timing.  The
+discrete-event wrapper (:mod:`repro.fabric.network`) wraps these methods with
+service times; unit tests and the synchronous :class:`~repro.fabric.localnet.
+LocalNetwork` call them directly.
+
+The commit pipeline follows Fabric's committer exactly:
+
+1. **VSCC** (per transaction, parallelizable): verify the endorsements and
+   evaluate the chaincode's endorsement policy.
+2. **Duplicate check**: a transaction ID already committed — or appearing
+   earlier in the same block — invalidates the later occurrence.
+3. **MVCC** (sequential): compare each read's version against the committed
+   state *plus the writes of preceding valid transactions in this block*;
+   any mismatch marks ``MVCC_READ_CONFLICT``.  Recorded range queries are
+   re-executed for phantom detection.
+4. **Commit**: apply the writes of valid transactions at version
+   ``(block_num, tx_num)``, append the block with its metadata, publish
+   events.
+
+FabricCRDT plugs in via :meth:`Peer._plan_crdt_merge`, which the subclass in
+:mod:`repro.core.peer` overrides with Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..common.hashing import sha256
+from ..common.serialization import to_bytes
+from ..common.types import (
+    Counterstats,
+    ReadWriteSet,
+    ValidationCode,
+    Version,
+    WriteItem,
+)
+from .block import Block, BlockMetadata, CommittedBlock
+from .chaincode import ChaincodeRegistry, ShimStub
+from .events import EventHub
+from .identity import Identity, MembershipRegistry
+from .ledger import Ledger
+from .statedb import StateDB
+from .transaction import (
+    EndorsementFailure,
+    Proposal,
+    ProposalResponse,
+    TransactionEnvelope,
+    rwset_hash,
+)
+
+
+@dataclass
+class MergePlan:
+    """What a CRDT-capable committer decided to do with a block.
+
+    * ``skip_mvcc`` — indices of transactions that bypass MVCC validation
+      (the paper: "CRDT transactions only go through the endorsement
+      validation check").
+    * ``replacement_writes`` — per transaction index, the write-set to apply
+      instead of the raw one (CRDT values replaced by merged values).
+    * ``forced_codes`` — transactions the merger decided to invalidate
+      (e.g. unparseable CRDT payloads), overriding normal validation.
+    * ``work`` — merge work counters for the cost model.
+    """
+
+    skip_mvcc: frozenset[int] = frozenset()
+    replacement_writes: dict[int, tuple[WriteItem, ...]] = field(default_factory=dict)
+    forced_codes: dict[int, ValidationCode] = field(default_factory=dict)
+    work: dict = field(default_factory=dict)
+
+
+@dataclass
+class CommitWork:
+    """Work accounting for one block commit (consumed by the cost model)."""
+
+    tx_count: int = 0
+    vscc_checks: int = 0
+    mvcc_reads: int = 0
+    range_requeries: int = 0
+    writes_applied: int = 0
+    distinct_keys_written: int = 0
+    bytes_written: int = 0
+    merge_ops: int = 0
+    merge_scan_steps: int = 0
+    merge_docs: int = 0
+
+
+@dataclass
+class PreparedCommit:
+    """A fully validated (and, for FabricCRDT, merged) block ready to apply.
+
+    Produced by :meth:`Peer.prepare_block`; applied by
+    :meth:`Peer.apply_prepared`.  The split exists for the discrete-event
+    wrapper: validation work is computed at the *start* of the commit service
+    window, the state change becomes visible at its *end* — endorsements
+    sampled during the window therefore see pre-block state, exactly like a
+    real peer whose commit applies atomically after validation.
+    """
+
+    block: Block
+    metadata: BlockMetadata
+    effective_writes: tuple[tuple[int, WriteItem], ...]
+    work: CommitWork
+
+
+class Peer:
+    """One peer node (pure logic)."""
+
+    def __init__(
+        self,
+        identity: Identity,
+        membership: MembershipRegistry,
+        chaincodes: ChaincodeRegistry,
+    ) -> None:
+        self.identity = identity
+        self.membership = membership
+        self.chaincodes = chaincodes
+        self.ledger = Ledger()
+        self.events = EventHub(self.name)
+        self.stats = Counterstats()
+        self.last_commit_work: Optional[CommitWork] = None
+
+    @property
+    def name(self) -> str:
+        return self.identity.qualified_name
+
+    @property
+    def org_name(self) -> str:
+        return self.identity.org.name
+
+    # ------------------------------------------------------------------
+    # Endorsement (Step 2 of Figure 1)
+    # ------------------------------------------------------------------
+
+    def endorse(
+        self, proposal: Proposal, timestamp: float = 0.0
+    ) -> Union[ProposalResponse, EndorsementFailure]:
+        """Simulate the proposal against local state and sign the result."""
+
+        self.stats.bump("proposals_received")
+        try:
+            chaincode = self.chaincodes.get(proposal.chaincode)
+        except Exception as exc:
+            self.stats.bump("endorsement_failures")
+            return EndorsementFailure(proposal.tx_id, self.name, str(exc))
+        stub = ShimStub(
+            self.ledger.state,
+            proposal.tx_id,
+            timestamp,
+            history=self.ledger.history_for_key,
+        )
+        try:
+            result = chaincode.invoke(stub, proposal.function, proposal.args)
+        except Exception as exc:
+            self.stats.bump("endorsement_failures")
+            return EndorsementFailure(
+                proposal.tx_id, self.name, "chaincode error", chaincode_error=str(exc)
+            )
+        rwset = stub.build_rwset()
+        result_bytes = to_bytes(result)
+        response_hash = sha256(rwset_hash(rwset) + result_bytes)
+        endorsement = self.membership.sign_as(self.name, response_hash)
+        self.stats.bump("proposals_endorsed")
+        return ProposalResponse(
+            tx_id=proposal.tx_id,
+            endorser=self.name,
+            rwset=rwset,
+            chaincode_result=result_bytes,
+            endorsement=endorsement,
+        )
+
+    # ------------------------------------------------------------------
+    # Validation + commit (Step 5 of Figure 1)
+    # ------------------------------------------------------------------
+
+    def prepare_block(self, block: Block) -> PreparedCommit:
+        """Validate (and CRDT-merge, if applicable) a block without applying."""
+
+        work = CommitWork(tx_count=len(block))
+        metadata = BlockMetadata(block.number)
+
+        precodes = self._precheck(block, work)
+        plan = self._plan_crdt_merge(block, precodes, work) or MergePlan()
+
+        pending: dict[str, Optional[Version]] = {}
+        effective: list[tuple[int, WriteItem]] = []
+        for tx_index, tx in enumerate(block.transactions):
+            code = precodes[tx_index]
+            if code is None and tx_index in plan.forced_codes:
+                code = plan.forced_codes[tx_index]
+            if code is None:
+                if tx_index in plan.skip_mvcc:
+                    code = ValidationCode.VALID
+                else:
+                    code = self._mvcc_validate(tx.rwset, pending, work)
+            if code is ValidationCode.VALID:
+                version = Version(block.number, tx_index)
+                writes = plan.replacement_writes.get(tx_index, tx.rwset.writes)
+                for write in writes:
+                    pending[write.key] = None if write.is_delete else version
+                    effective.append((tx_index, write))
+            metadata.mark(tx_index, code)
+
+        for _, write in effective:
+            work.writes_applied += 1
+            work.bytes_written += len(write.value)
+        work.distinct_keys_written = len({write.key for _, write in effective})
+        work.merge_ops = int(plan.work.get("merge_ops", 0))
+        work.merge_scan_steps = int(plan.work.get("merge_scan_steps", 0))
+        work.merge_docs = int(plan.work.get("merge_docs", 0))
+
+        return PreparedCommit(
+            block=block,
+            metadata=metadata,
+            effective_writes=tuple(effective),
+            work=work,
+        )
+
+    def apply_prepared(self, prepared: PreparedCommit, commit_time: float = 0.0) -> CommittedBlock:
+        """Apply a prepared commit: write state, append the block, publish."""
+
+        block = prepared.block
+        for tx_index, write in prepared.effective_writes:
+            self.ledger.state.apply_write(
+                write.key, write.value, Version(block.number, tx_index), write.is_delete
+            )
+        committed = CommittedBlock(
+            block=block,
+            metadata=prepared.metadata,
+            commit_time=commit_time,
+            effective_writes=prepared.effective_writes,
+        )
+        self.ledger.append_block(committed)
+        self.stats.bump("blocks_committed")
+        self.stats.bump("txs_valid", prepared.metadata.valid_count)
+        self.stats.bump("txs_invalid", prepared.metadata.invalid_count)
+        self.last_commit_work = prepared.work
+        self.events.publish(committed)
+        return committed
+
+    def validate_and_commit(self, block: Block, commit_time: float = 0.0) -> CommittedBlock:
+        """Run the full commit pipeline and append the block (synchronous)."""
+
+        return self.apply_prepared(self.prepare_block(block), commit_time)
+
+    # -- pipeline stages --------------------------------------------------------
+
+    def _precheck(self, block: Block, work: CommitWork) -> list[Optional[ValidationCode]]:
+        """VSCC + duplicate-TxID checks.  ``None`` means "so far valid"."""
+
+        precodes: list[Optional[ValidationCode]] = []
+        seen_in_block: set[str] = set()
+        for tx in block.transactions:
+            work.vscc_checks += 1
+            if self.ledger.has_transaction(tx.tx_id) or tx.tx_id in seen_in_block:
+                precodes.append(ValidationCode.DUPLICATE_TXID)
+                continue
+            seen_in_block.add(tx.tx_id)
+            if not self._vscc(tx):
+                precodes.append(ValidationCode.ENDORSEMENT_POLICY_FAILURE)
+                continue
+            precodes.append(None)
+        return precodes
+
+    def _vscc(self, tx: TransactionEnvelope) -> bool:
+        """Verify endorsement signatures and evaluate the policy."""
+
+        if not tx.endorsements:
+            return False
+        response_hash = sha256(rwset_hash(tx.rwset) + tx.chaincode_result)
+        endorsing_orgs: set[str] = set()
+        for endorsement in tx.endorsements:
+            if not self.membership.verify(endorsement, response_hash):
+                continue
+            endorsing_orgs.add(self.membership.org_of(endorsement.signer).name)
+        return tx.proposal.policy.satisfied_by(endorsing_orgs)
+
+    def _mvcc_validate(
+        self,
+        rwset: ReadWriteSet,
+        pending: dict[str, Optional[Version]],
+        work: CommitWork,
+    ) -> ValidationCode:
+        """Sequential read-set validation against state + in-block updates."""
+
+        for read in rwset.reads:
+            work.mvcc_reads += 1
+            if read.key in pending:
+                current = pending[read.key]
+            else:
+                current = self.ledger.state.get_version(read.key)
+            if read.version != current:
+                return ValidationCode.MVCC_READ_CONFLICT
+        for range_query in rwset.range_queries:
+            work.range_requeries += 1
+            observed = self._overlay_range_hash(
+                range_query.start_key, range_query.end_key, pending
+            )
+            if observed != range_query.results_hash:
+                return ValidationCode.PHANTOM_READ_CONFLICT
+        return ValidationCode.VALID
+
+    def _overlay_range_hash(
+        self, start_key: str, end_key: str, pending: dict[str, Optional[Version]]
+    ) -> bytes:
+        """Hash of the range-query result over state overlaid with in-block
+        writes, matching the hash recorded by the shim at simulation time."""
+
+        versions: dict[str, Optional[Version]] = {}
+        for key, entry in self.ledger.state.range_scan(start_key, end_key):
+            versions[key] = entry.version
+        for key, version in pending.items():
+            if key >= start_key and (not end_key or key < end_key):
+                versions[key] = version  # None means deleted
+        material = [
+            f"{key}\x00{versions[key]}"
+            for key in sorted(versions)
+            if versions[key] is not None
+        ]
+        return sha256("\x01".join(material).encode("utf-8"))
+
+    # -- CRDT extension point -----------------------------------------------------
+
+    def _plan_crdt_merge(
+        self,
+        block: Block,
+        precodes: list[Optional[ValidationCode]],
+        work: CommitWork,
+    ) -> Optional[MergePlan]:
+        """Hook for FabricCRDT's Algorithm 1.  Vanilla peers do nothing."""
+
+        return None
+
+    # -- queries ------------------------------------------------------------------
+
+    def world_state(self) -> StateDB:
+        return self.ledger.state
+
+    def __repr__(self) -> str:
+        return f"<Peer {self.name} height={self.ledger.height}>"

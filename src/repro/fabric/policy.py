@@ -1,0 +1,115 @@
+"""Endorsement policies: the AND / OR / OutOf expression trees of Fabric.
+
+A policy decides whether a set of endorsing organizations is sufficient.
+Fabric expresses policies like ``AND('Org1.member', OR('Org2.member',
+'Org3.member'))``; every combinator reduces to ``OutOf(n, ...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from ..common.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class Principal:
+    """A leaf: satisfied when the given org endorsed."""
+
+    org_name: str
+
+    def satisfied_by(self, endorsing_orgs: frozenset[str]) -> bool:
+        return self.org_name in endorsing_orgs
+
+    def orgs_mentioned(self) -> frozenset[str]:
+        return frozenset({self.org_name})
+
+    def min_endorsers(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"'{self.org_name}.member'"
+
+
+@dataclass(frozen=True)
+class OutOf:
+    """Satisfied when at least ``threshold`` sub-policies are satisfied."""
+
+    threshold: int
+    rules: tuple["PolicyNode", ...]
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise PolicyError("OutOf requires at least one sub-policy")
+        if not 1 <= self.threshold <= len(self.rules):
+            raise PolicyError(
+                f"threshold {self.threshold} out of range for {len(self.rules)} rules"
+            )
+
+    def satisfied_by(self, endorsing_orgs: frozenset[str]) -> bool:
+        satisfied = sum(1 for rule in self.rules if rule.satisfied_by(endorsing_orgs))
+        return satisfied >= self.threshold
+
+    def orgs_mentioned(self) -> frozenset[str]:
+        mentioned: frozenset[str] = frozenset()
+        for rule in self.rules:
+            mentioned |= rule.orgs_mentioned()
+        return mentioned
+
+    def min_endorsers(self) -> int:
+        costs = sorted(rule.min_endorsers() for rule in self.rules)
+        return sum(costs[: self.threshold])
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(rule) for rule in self.rules)
+        if self.threshold == len(self.rules):
+            return f"AND({inner})"
+        if self.threshold == 1:
+            return f"OR({inner})"
+        return f"OutOf({self.threshold}, {inner})"
+
+
+PolicyNode = Union[Principal, OutOf]
+
+
+def and_policy(*org_names: str) -> OutOf:
+    """``AND('Org1', 'Org2', ...)`` — every listed org must endorse."""
+
+    rules = tuple(Principal(name) for name in org_names)
+    return OutOf(len(rules), rules)
+
+
+def or_policy(*org_names: str) -> OutOf:
+    """``OR('Org1', 'Org2', ...)`` — any one listed org suffices."""
+
+    rules = tuple(Principal(name) for name in org_names)
+    return OutOf(1, rules)
+
+
+def majority_policy(org_names: Iterable[str]) -> OutOf:
+    """Strict majority of the listed orgs."""
+
+    rules = tuple(Principal(name) for name in org_names)
+    return OutOf(len(rules) // 2 + 1, rules)
+
+
+@dataclass(frozen=True)
+class EndorsementPolicy:
+    """A named policy attached to a chaincode."""
+
+    expression: PolicyNode
+
+    def satisfied_by(self, endorsing_orgs: Iterable[str]) -> bool:
+        return self.expression.satisfied_by(frozenset(endorsing_orgs))
+
+    def orgs_mentioned(self) -> frozenset[str]:
+        return self.expression.orgs_mentioned()
+
+    def min_endorsers(self) -> int:
+        """Fewest org endorsements that can satisfy the policy (client hint)."""
+
+        return self.expression.min_endorsers()
+
+    def __str__(self) -> str:
+        return str(self.expression)

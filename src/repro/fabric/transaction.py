@@ -1,0 +1,187 @@
+"""Transaction structures: proposals, endorsements, and envelopes.
+
+The lifecycle mirrors Figure 1 of the paper:
+
+1. a client builds a :class:`Proposal` naming chaincode, function, args, and
+   the endorsement policy;
+2. endorsing peers simulate it and return :class:`ProposalResponse` objects
+   containing the read-write set and a signature over its hash;
+3. the client assembles a :class:`TransactionEnvelope` from the proposal
+   payload plus matching endorsements and submits it to the ordering service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.hashing import sha256, short_hash
+from ..common.serialization import to_bytes
+from ..common.types import ReadWriteSet, TxType
+from .identity import SignedPayload
+from .policy import EndorsementPolicy
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """A transaction proposal (Step 1 in Figure 1)."""
+
+    tx_id: str
+    channel: str
+    chaincode: str
+    function: str
+    args: tuple[str, ...]
+    creator: str  # client's qualified identity name
+    policy: EndorsementPolicy
+    submit_time: float = 0.0
+
+    @classmethod
+    def create(
+        cls,
+        channel: str,
+        chaincode: str,
+        function: str,
+        args: tuple[str, ...],
+        creator: str,
+        policy: EndorsementPolicy,
+        nonce: int,
+        submit_time: float = 0.0,
+    ) -> "Proposal":
+        """Build a proposal with a deterministic transaction ID.
+
+        Fabric derives tx IDs as ``hash(nonce || creator)``; we add the call
+        payload so IDs are stable and unique per logical submission.
+        """
+
+        material = to_bytes(
+            {
+                "channel": channel,
+                "chaincode": chaincode,
+                "function": function,
+                "args": list(args),
+                "creator": creator,
+                "nonce": nonce,
+            }
+        )
+        return cls(
+            tx_id=short_hash(material, 16),
+            channel=channel,
+            chaincode=chaincode,
+            function=function,
+            args=args,
+            creator=creator,
+            policy=policy,
+            submit_time=submit_time,
+        )
+
+    def header_bytes(self) -> bytes:
+        return to_bytes(
+            {
+                "tx_id": self.tx_id,
+                "channel": self.channel,
+                "chaincode": self.chaincode,
+                "function": self.function,
+                "args": list(self.args),
+                "creator": self.creator,
+            }
+        )
+
+
+def rwset_to_dict(rwset: ReadWriteSet) -> dict:
+    """Canonical dictionary form of a read-write set (for hashing/storage)."""
+
+    return {
+        "reads": [
+            {"key": read.key, "version": str(read.version) if read.version else None}
+            for read in rwset.reads
+        ],
+        "writes": [
+            {
+                "key": write.key,
+                "value": write.value.hex(),
+                "is_delete": write.is_delete,
+                "is_crdt": write.is_crdt,
+            }
+            for write in rwset.writes
+        ],
+        "range_queries": [
+            {
+                "start_key": rq.start_key,
+                "end_key": rq.end_key,
+                "results_hash": rq.results_hash.hex(),
+            }
+            for rq in rwset.range_queries
+        ],
+    }
+
+
+def rwset_hash(rwset: ReadWriteSet) -> bytes:
+    return sha256(to_bytes(rwset_to_dict(rwset)))
+
+
+@dataclass(frozen=True)
+class ProposalResponse:
+    """One peer's endorsement of a proposal (Step 2 in Figure 1)."""
+
+    tx_id: str
+    endorser: str  # qualified peer identity
+    rwset: ReadWriteSet
+    chaincode_result: bytes
+    endorsement: SignedPayload
+
+    @property
+    def response_hash(self) -> bytes:
+        return sha256(rwset_hash(self.rwset) + self.chaincode_result)
+
+
+@dataclass(frozen=True)
+class TransactionEnvelope:
+    """The signed transaction submitted for ordering (Step 3 in Figure 1)."""
+
+    proposal: Proposal
+    rwset: ReadWriteSet
+    endorsements: tuple[SignedPayload, ...]
+    chaincode_result: bytes = b""
+    client_signature: Optional[SignedPayload] = None
+
+    @property
+    def tx_id(self) -> str:
+        return self.proposal.tx_id
+
+    @property
+    def tx_type(self) -> TxType:
+        return TxType.CRDT if self.rwset.has_crdt_writes else TxType.STANDARD
+
+    def payload_bytes(self) -> bytes:
+        return self.proposal.header_bytes() + to_bytes(rwset_to_dict(self.rwset))
+
+    def byte_size(self) -> int:
+        """Approximate wire size, used by the orderer's byte-based cutting."""
+
+        overhead_per_endorsement = 96  # signature + header, roughly
+        return len(self.payload_bytes()) + overhead_per_endorsement * len(self.endorsements)
+
+    def with_rwset(self, rwset: ReadWriteSet) -> "TransactionEnvelope":
+        """Copy with a replaced read-write set.
+
+        Used by FabricCRDT's commit path when it substitutes merged CRDT
+        values into the write-set (Algorithm 1, line 22).
+        """
+
+        return TransactionEnvelope(
+            proposal=self.proposal,
+            rwset=rwset,
+            endorsements=self.endorsements,
+            chaincode_result=self.chaincode_result,
+            client_signature=self.client_signature,
+        )
+
+
+@dataclass
+class EndorsementFailure:
+    """Returned by a peer that refuses to endorse (chaincode error etc.)."""
+
+    tx_id: str
+    endorser: str
+    reason: str
+    chaincode_error: Optional[str] = None

@@ -1,0 +1,49 @@
+"""Discrete-event simulation kernel (SimPy-like, implemented from scratch)."""
+
+from .engine import Environment
+from .events import AllOf, AnyOf, Condition, Event, Timeout
+from .latency import Empirical, Exponential, Fixed, LatencyModel, LogNormal, Shifted, Uniform
+from .monitor import GaugeSeries, TimeSeries, summarize
+from .network import Broadcast, Link, LinkStats, PartitionController
+from .process import Interrupt, Process
+from .resources import (
+    FilterStore,
+    PriorityStore,
+    Resource,
+    ResourceRequest,
+    Store,
+    StoreGet,
+    StorePut,
+)
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "Interrupt",
+    "Store",
+    "PriorityStore",
+    "FilterStore",
+    "StoreGet",
+    "StorePut",
+    "Resource",
+    "ResourceRequest",
+    "LatencyModel",
+    "Fixed",
+    "Uniform",
+    "Exponential",
+    "LogNormal",
+    "Empirical",
+    "Shifted",
+    "Link",
+    "LinkStats",
+    "Broadcast",
+    "PartitionController",
+    "TimeSeries",
+    "GaugeSeries",
+    "summarize",
+]

@@ -1,0 +1,187 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot future.  Processes (see
+:mod:`repro.sim.process`) yield events to suspend until they fire.  Events are
+*triggered* when ``succeed``/``fail`` is called and *processed* once the
+engine has run their callbacks; the distinction lets the engine keep a
+deterministic FIFO order for simultaneous events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from ..common.errors import EventAlreadyTriggered
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .engine import Environment
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot future bound to an :class:`Environment`."""
+
+    __slots__ = ("env", "callbacks", "_value", "_okay", "defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callables invoked with this event once it is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._okay: Optional[bool] = None
+        #: Failed events crash the simulation unless a process handles them
+        #: or they are explicitly defused.
+        self.defused = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` was called."""
+
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the engine has delivered this event to its callbacks."""
+
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+
+        return bool(self._okay)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+
+        if self._value is _PENDING:
+            raise AttributeError("event value is not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._okay = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._okay = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy another event's outcome (useful as a callback)."""
+
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            event.defused = True
+            self.fail(event.value)
+
+    # -- composition --------------------------------------------------------
+
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._okay = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """Base for events composed of other events (``AllOf`` / ``AnyOf``)."""
+
+    __slots__ = ("events", "_n_processed")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = tuple(events)
+        self._n_processed = 0
+        for event in self.events:
+            if event.env is not env:
+                raise ValueError("cannot mix events from different environments")
+        if not self.events:
+            self.succeed(self._build_value())
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event.ok:
+                event.defused = True
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._n_processed += 1
+        if self._check():
+            self.succeed(self._build_value())
+
+    def _check(self) -> bool:
+        raise NotImplementedError
+
+    def _build_value(self) -> Any:
+        """Map of processed child events to their values, in creation order."""
+
+        return {event: event.value for event in self.events if event.processed and event.ok}
+
+
+class AllOf(Condition):
+    """Fires once *all* child events have fired (fails fast on failure)."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._n_processed >= len(self.events)
+
+
+class AnyOf(Condition):
+    """Fires once *any* child event has fired."""
+
+    __slots__ = ()
+
+    def _check(self) -> bool:
+        return self._n_processed >= 1

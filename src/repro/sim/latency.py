@@ -1,0 +1,140 @@
+"""Latency / service-time distributions.
+
+Every distribution exposes ``sample(rng) -> float`` (seconds) and ``mean()``.
+The Fabric cost model composes these for endorsement, network, and commit
+times; tests use :class:`Fixed` so timings are exact.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class LatencyModel:
+    """Interface: a non-negative random delay in seconds."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Fixed(LatencyModel):
+    """A constant delay."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class Uniform(LatencyModel):
+    """Uniform delay in ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError(f"invalid uniform range [{self.low}, {self.high}]")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class Exponential(LatencyModel):
+    """Exponential delay with the given mean (memoryless service times)."""
+
+    mean_delay: float
+
+    def __post_init__(self) -> None:
+        if self.mean_delay <= 0:
+            raise ValueError("mean_delay must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_delay)
+
+    def mean(self) -> float:
+        return self.mean_delay
+
+
+@dataclass(frozen=True)
+class LogNormal(LatencyModel):
+    """Log-normal delay parameterized by its mean and sigma of the log.
+
+    Network and endorsement latencies are heavy-tailed in practice; the
+    paper's endorsement latencies "vary significantly for different
+    transactions" (§3), which a log-normal captures well.
+    """
+
+    mean_delay: float
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.mean_delay <= 0:
+            raise ValueError("mean_delay must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+
+    def _mu(self) -> float:
+        return math.log(self.mean_delay) - self.sigma**2 / 2.0
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self._mu(), self.sigma)
+
+    def mean(self) -> float:
+        return self.mean_delay
+
+
+@dataclass(frozen=True)
+class Empirical(LatencyModel):
+    """Resample uniformly from observed delays (trace-driven delays)."""
+
+    samples: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("need at least one sample")
+        if any(s < 0 for s in self.samples):
+            raise ValueError("samples must be non-negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.choice(list(self.samples))
+
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+
+@dataclass(frozen=True)
+class Shifted(LatencyModel):
+    """A base model plus a constant offset (propagation + jitter patterns)."""
+
+    base: LatencyModel
+    offset: float
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.offset + self.base.sample(rng)
+
+    def mean(self) -> float:
+        return self.offset + self.base.mean()

@@ -1,0 +1,142 @@
+"""Measurement helpers: time-series samples and windowed rates.
+
+The Caliper-equivalent driver records per-transaction events through these
+classes and derives the three metrics every figure reports: number of
+successful transactions, successful-transaction throughput, and average
+latency of successful transactions.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass
+class TimeSeries:
+    """Append-only ``(time, value)`` samples with summary statistics."""
+
+    name: str = "series"
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("samples must be recorded in time order")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return sum(self.values) / len(self.values) if self.values else None
+
+    @property
+    def maximum(self) -> Optional[float]:
+        return max(self.values) if self.values else None
+
+    @property
+    def minimum(self) -> Optional[float]:
+        return min(self.values) if self.values else None
+
+    def std(self) -> Optional[float]:
+        if len(self.values) < 2:
+            return None
+        mean = self.mean or 0.0
+        variance = sum((v - mean) ** 2 for v in self.values) / (len(self.values) - 1)
+        return math.sqrt(variance)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile of the recorded values, ``q`` in [0, 100]."""
+
+        if not self.values:
+            return None
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def rate_between(self, start: float, end: float) -> float:
+        """Events per second within ``[start, end)`` (counts samples)."""
+
+        if end <= start:
+            raise ValueError("end must be after start")
+        lo = bisect_left(self.times, start)
+        hi = bisect_left(self.times, end)  # half-open: t == end excluded
+        return (hi - lo) / (end - start)
+
+    def window_counts(self, window: float) -> list[tuple[float, int]]:
+        """Sample counts per fixed window (for throughput-over-time plots)."""
+
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not self.times:
+            return []
+        buckets: dict[int, int] = {}
+        for t in self.times:
+            buckets[int(t // window)] = buckets.get(int(t // window), 0) + 1
+        return [(idx * window, count) for idx, count in sorted(buckets.items())]
+
+
+@dataclass
+class GaugeSeries:
+    """Step-function gauge (e.g. queue length over time)."""
+
+    name: str = "gauge"
+    times: list[float] = field(default_factory=list)
+    levels: list[float] = field(default_factory=list)
+
+    def record(self, time: float, level: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError("gauge updates must be in time order")
+        self.times.append(time)
+        self.levels.append(level)
+
+    def time_average(self, until: Optional[float] = None) -> Optional[float]:
+        """Time-weighted average level from the first sample to ``until``."""
+
+        if not self.times:
+            return None
+        end = until if until is not None else self.times[-1]
+        if end < self.times[0]:
+            raise ValueError("until precedes the first sample")
+        area = 0.0
+        for i, level in enumerate(self.levels):
+            seg_start = self.times[i]
+            seg_end = self.times[i + 1] if i + 1 < len(self.times) else end
+            seg_end = min(seg_end, end)
+            if seg_end > seg_start:
+                area += level * (seg_end - seg_start)
+        span = end - self.times[0]
+        return area / span if span > 0 else self.levels[-1]
+
+
+def summarize(values: Iterable[float]) -> dict:
+    """Small stats dict used in reports: count/mean/min/max/p50/p95."""
+
+    data = sorted(values)
+    if not data:
+        return {"count": 0}
+    n = len(data)
+
+    def pct(q: float) -> float:
+        rank = max(1, math.ceil(q / 100.0 * n))
+        return data[rank - 1]
+
+    return {
+        "count": n,
+        "mean": sum(data) / n,
+        "min": data[0],
+        "max": data[-1],
+        "p50": pct(50),
+        "p95": pct(95),
+    }

@@ -1,0 +1,109 @@
+"""Simulated message links between components.
+
+A :class:`Link` delivers messages into a destination :class:`Store` after a
+sampled latency, optionally dropping a fraction of them (failure injection).
+Delivery order over one link can therefore differ from send order when the
+latency model is random — exactly the asynchrony the paper's system model
+assumes (§4.1: arbitrary delays, eventual delivery).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from .latency import Fixed, LatencyModel
+from .resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+
+@dataclass
+class LinkStats:
+    """Counters for messages carried by one link."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+
+
+class Link:
+    """One-way message pipe with latency and optional loss."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        destination: Store,
+        latency: LatencyModel | None = None,
+        rng: random.Random | None = None,
+        loss_probability: float = 0.0,
+        name: str = "link",
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        self.env = env
+        self.destination = destination
+        self.latency = latency if latency is not None else Fixed(0.0)
+        self.rng = rng if rng is not None else random.Random(0)
+        self.loss_probability = loss_probability
+        self.name = name
+        self.stats = LinkStats()
+
+    def send(self, message: Any) -> None:
+        """Fire-and-forget send; delivery happens after the sampled latency."""
+
+        self.stats.sent += 1
+        if self.loss_probability and self.rng.random() < self.loss_probability:
+            self.stats.dropped += 1
+            return
+        delay = self.latency.sample(self.rng)
+        self.env.process(self._deliver(message, delay))
+
+    def _deliver(self, message: Any, delay: float):
+        yield self.env.timeout(delay)
+        self.stats.delivered += 1
+        yield self.destination.put(message)
+
+
+class Broadcast:
+    """Fan-out helper: one ``send`` delivers to every registered link."""
+
+    def __init__(self) -> None:
+        self._links: list[Link] = []
+
+    def attach(self, link: Link) -> None:
+        self._links.append(link)
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        return tuple(self._links)
+
+    def send(self, message: Any) -> None:
+        for link in self._links:
+            link.send(message)
+
+
+@dataclass
+class PartitionController:
+    """Failure injection: temporarily cut a set of links.
+
+    While a link is cut its messages are dropped (counted in ``stats.dropped``)
+    — modelling a network partition between peers and orderer.  Used by the
+    fault-injection tests.
+    """
+
+    links: list[Link] = field(default_factory=list)
+    _saved: dict = field(default_factory=dict)
+
+    def cut(self) -> None:
+        for link in self.links:
+            if link not in self._saved:
+                self._saved[link] = link.loss_probability
+                link.loss_probability = 0.999999  # drop (almost surely) everything
+
+    def heal(self) -> None:
+        for link, original in self._saved.items():
+            link.loss_probability = original
+        self._saved.clear()

@@ -1,0 +1,66 @@
+"""Workload generation and the Caliper-equivalent benchmark driver."""
+
+from .caliper import build_network, populate_ledger, run_pair, run_workload
+from .generator import PlannedTx, expected_conflicting, generate_plan, keys_to_populate
+from .iot import (
+    IOT_CHAINCODE_NAME,
+    IoTChaincode,
+    encode_call,
+    initial_device_state,
+    nested_payload,
+    reading_payload,
+)
+from .metrics import BenchmarkResult, MetricsCollector
+from .report import format_figure, format_result_details
+from .smallbank import SmallBankChaincode, total_money
+from .trace import (
+    export_csv,
+    latency_percentiles,
+    queue_depth_estimate,
+    summarize_run,
+    throughput_timeline,
+    trace_rows,
+)
+from .spec import (
+    WorkloadSpec,
+    table1_spec,
+    table2_spec,
+    table3_spec,
+    table4_spec,
+    table5_spec,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "table1_spec",
+    "table2_spec",
+    "table3_spec",
+    "table4_spec",
+    "table5_spec",
+    "PlannedTx",
+    "generate_plan",
+    "keys_to_populate",
+    "expected_conflicting",
+    "IoTChaincode",
+    "IOT_CHAINCODE_NAME",
+    "encode_call",
+    "reading_payload",
+    "nested_payload",
+    "initial_device_state",
+    "BenchmarkResult",
+    "MetricsCollector",
+    "run_workload",
+    "run_pair",
+    "build_network",
+    "populate_ledger",
+    "format_figure",
+    "format_result_details",
+    "SmallBankChaincode",
+    "total_money",
+    "trace_rows",
+    "latency_percentiles",
+    "throughput_timeline",
+    "queue_depth_estimate",
+    "export_csv",
+    "summarize_run",
+]

@@ -1,0 +1,90 @@
+"""Deterministic transaction stream generation from a workload spec.
+
+Expands a :class:`~repro.workload.spec.WorkloadSpec` into a concrete list of
+:class:`PlannedTx` — submit time, submitting client, key sets, and the JSON
+payload — using seeded randomness so every run of an experiment sees the
+identical stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.rng import SeedSequence
+from .iot import encode_call, nested_payload, reading_payload
+from .spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class PlannedTx:
+    """One transaction of the workload, fully determined."""
+
+    index: int
+    client: int
+    submit_time: float
+    conflicting: bool
+    read_keys: tuple[str, ...]
+    write_keys: tuple[str, ...]
+    payload: dict
+    function: str
+    use_crdt: bool
+
+    def call_argument(self) -> str:
+        return encode_call(
+            read_keys=list(self.read_keys),
+            write_keys=list(self.write_keys),
+            payload=self.payload,
+            crdt=self.use_crdt,
+        )
+
+
+def generate_plan(spec: WorkloadSpec) -> list[PlannedTx]:
+    """The full transaction stream for ``spec``, in submit-time order."""
+
+    seeds = SeedSequence(spec.seed)
+    conflict_rng = seeds.stream("conflict")
+    temp_rng = seeds.stream("temperature")
+    fraction = spec.conflict_pct / 100.0
+    hot = spec.hot_keys()
+    function = "record_accumulate" if spec.accumulate else "record"
+
+    plan: list[PlannedTx] = []
+    for index in range(spec.total_transactions):
+        conflicting = conflict_rng.random() < fraction
+        keys = hot if conflicting else spec.unique_keys(index)
+        read_keys = tuple(keys[: spec.read_keys])
+        write_keys = tuple(keys[: spec.write_keys])
+        temperature = temp_rng.randint(10, 35)
+        if spec.nesting_depth > 1:
+            payload = nested_payload(spec.json_keys, spec.nesting_depth, temperature, index)
+        else:
+            device = write_keys[0] if write_keys else (read_keys[0] if read_keys else "device")
+            payload = reading_payload(device, temperature, index)
+        plan.append(
+            PlannedTx(
+                index=index,
+                client=index % spec.num_clients,
+                submit_time=index / spec.rate_tps,
+                conflicting=conflicting,
+                read_keys=read_keys,
+                write_keys=write_keys,
+                payload=payload,
+                function=function,
+                use_crdt=spec.use_crdt,
+            )
+        )
+    return plan
+
+
+def keys_to_populate(spec: WorkloadSpec, plan: list[PlannedTx]) -> list[str]:
+    """Every key any transaction will read — populated before the run (§7.2)."""
+
+    keys: dict[str, None] = {}
+    for tx in plan:
+        for key in tx.read_keys:
+            keys.setdefault(key)
+    return list(keys)
+
+
+def expected_conflicting(plan: list[PlannedTx]) -> int:
+    return sum(1 for tx in plan if tx.conflicting)

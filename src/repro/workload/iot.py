@@ -1,0 +1,181 @@
+"""The paper's IoT temperature workload: chaincode and payload builders.
+
+§7.1: "we implemented a chaincode that receives and stores temperature
+readings and device identification numbers of IoT devices.  When executing a
+transaction, the chaincode first reads a key-value pair from the ledger ...
+then the chaincode adds the new temperature reading to the JSON object and
+submits it to be written to the ledger."
+
+Two variants are provided (see DESIGN.md §3 on the accumulation ambiguity):
+
+* ``record`` — reads the configured keys (recording their versions) and
+  writes a fixed-shape payload carrying only the *new* reading, like
+  Listing 3.  This matches the constant per-experiment payload shape of
+  Tables 1–5 and is what the benchmarks use.
+* ``record_accumulate`` — the literal read-modify-write: appends the new
+  reading to the JSON object read from the ledger and writes the whole
+  object back.  Used by the correctness tests and the seed/dedup ablations.
+
+Payload builders produce the paper's two JSON shapes: Listing 3 (device ID +
+readings list) and Listing 4 (K top-level keys of nesting depth D).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..common.errors import ChaincodeError
+from ..common.serialization import deep_copy_json
+from ..common.types import Json
+from ..fabric.chaincode import Chaincode, ShimStub
+
+#: Chaincode name used by every experiment.
+IOT_CHAINCODE_NAME = "iot"
+
+
+def reading_payload(device_id: str, temperature: int, sequence: int) -> dict:
+    """A Listing-3-shaped payload: 2 JSON keys, one new reading.
+
+    The ``ts`` field makes every reading unique — physically a timestamp —
+    so that distinct readings never collapse under content deduplication.
+    """
+
+    return {
+        "deviceID": device_id,
+        "tempReadings": [
+            {"temperature": str(temperature), "ts": str(sequence)}
+        ],
+    }
+
+
+def nested_payload(num_keys: int, depth: int, temperature: int, sequence: int) -> dict:
+    """A Listing-4-shaped payload: ``num_keys`` rooms, each of depth ``depth``.
+
+    Depth counts named levels on the path from a top-level key to the leaf,
+    e.g. depth 3 gives ``room -> [ { reading -> [ { value } ] } ]``.
+    """
+
+    if num_keys < 1 or depth < 1:
+        raise ValueError("nested payloads need at least one key and depth 1")
+
+    def value_for(level: int) -> Json:
+        if level <= 1:
+            return f"{temperature}#{sequence}"
+        return [{f"level{level - 1}": value_for(level - 1)}]
+
+    return {
+        f"temperatureRoom{i + 1}": value_for(depth) for i in range(num_keys)
+    }
+
+
+def initial_device_state(device_id: str) -> dict:
+    """The pre-populated value of every device key (§7.2: keys that are read
+    during the experiment are populated before it starts)."""
+
+    return {"deviceID": device_id, "tempReadings": []}
+
+
+class IoTChaincode(Chaincode):
+    """The experiment chaincode.
+
+    All functions take a single JSON-encoded argument describing the call —
+    mirroring how Caliper drives chaincodes with structured arguments:
+
+    ``record`` / ``record_accumulate``::
+
+        {"read_keys": [...], "write_keys": [...],
+         "payload": {...}, "crdt": true|false}
+
+    ``populate``::
+
+        {"keys": [...]}            # writes initial_device_state to each
+
+    ``read_device`` (query)::
+
+        {"key": "device-..."}
+    """
+
+    name = IOT_CHAINCODE_NAME
+
+    def fn_record(self, stub: ShimStub, call_json: str) -> Json:
+        call = self._decode(call_json)
+        for key in call.get("read_keys", []):
+            stub.get_state(key)
+        payload = call["payload"]
+        written = []
+        for key in call.get("write_keys", []):
+            value = deep_copy_json(payload)
+            if "deviceID" in value:
+                value["deviceID"] = key
+            self._put(stub, key, value, bool(call.get("crdt", False)))
+            written.append(key)
+        return {"written": written}
+
+    def fn_record_accumulate(self, stub: ShimStub, call_json: str) -> Json:
+        call = self._decode(call_json)
+        payload = call["payload"]
+        new_readings = payload.get("tempReadings", [])
+        written = []
+        current: dict[str, Json] = {}
+        for key in call.get("read_keys", []):
+            value = stub.get_state(key)
+            if isinstance(value, dict):
+                current[key] = value
+        for key in call.get("write_keys", []):
+            base = current.get(key)
+            merged = deep_copy_json(base) if isinstance(base, dict) else initial_device_state(key)
+            readings = merged.setdefault("tempReadings", [])
+            if not isinstance(readings, list):
+                raise ChaincodeError(f"key {key!r}: tempReadings is not a list")
+            readings.extend(deep_copy_json(new_readings))
+            merged["deviceID"] = key
+            self._put(stub, key, merged, bool(call.get("crdt", False)))
+            written.append(key)
+        return {"written": written}
+
+    def fn_populate(self, stub: ShimStub, call_json: str) -> Json:
+        call = self._decode(call_json)
+        for key in call["keys"]:
+            stub.put_state(key, initial_device_state(key))
+        return {"populated": len(call["keys"])}
+
+    def fn_read_device(self, stub: ShimStub, call_json: str) -> Json:
+        call = self._decode(call_json)
+        return stub.get_state(call["key"])
+
+    @staticmethod
+    def _put(stub: ShimStub, key: str, value: Json, crdt: bool) -> None:
+        if crdt:
+            stub.put_crdt(key, value)
+        else:
+            stub.put_state(key, value)
+
+    @staticmethod
+    def _decode(call_json: str) -> dict:
+        try:
+            call = json.loads(call_json)
+        except json.JSONDecodeError as exc:
+            raise ChaincodeError(f"malformed call argument: {exc}") from exc
+        if not isinstance(call, dict):
+            raise ChaincodeError("call argument must be a JSON object")
+        return call
+
+
+def encode_call(
+    read_keys: list[str],
+    write_keys: list[str],
+    payload: Optional[dict] = None,
+    crdt: bool = True,
+) -> str:
+    """Encode a ``record`` call argument."""
+
+    return json.dumps(
+        {
+            "read_keys": read_keys,
+            "write_keys": write_keys,
+            "payload": payload if payload is not None else {},
+            "crdt": crdt,
+        },
+        sort_keys=True,
+    )

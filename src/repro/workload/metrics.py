@@ -1,0 +1,143 @@
+"""Metric collection for timed runs — the Caliper side of the reproduction.
+
+Collects per-transaction outcomes from a peer's commit events and produces
+the three numbers every figure of the paper reports: successful-transaction
+count, successful-transaction throughput, and average latency of successful
+transactions — plus diagnostics (failure-code histogram, block statistics,
+merge work) used by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..common.types import TxStatus, ValidationCode
+from ..fabric.block import CommittedBlock
+from ..sim.engine import Environment
+from ..sim.events import Event
+
+
+@dataclass
+class BenchmarkResult:
+    """Summary of one workload run on one system configuration."""
+
+    label: str
+    total_submitted: int
+    successful: int
+    failed: int
+    duration_s: float
+    throughput_tps: float
+    avg_latency_s: float
+    failure_codes: dict = field(default_factory=dict)
+    blocks_committed: int = 0
+    avg_block_fill: float = 0.0
+    merge_ops: int = 0
+    merge_scan_steps: int = 0
+    endorsement_failures: int = 0
+    max_latency_s: float = 0.0
+
+    def row(self) -> dict:
+        """The figure-shaped row: throughput / latency / success count."""
+
+        return {
+            "label": self.label,
+            "throughput_tps": round(self.throughput_tps, 1),
+            "avg_latency_s": round(self.avg_latency_s, 2),
+            "successful": self.successful,
+        }
+
+
+class MetricsCollector:
+    """Observes one peer's commit events until every transaction resolved."""
+
+    def __init__(self, env: Environment, expected: int) -> None:
+        if expected < 1:
+            raise ValueError("expected transaction count must be positive")
+        self.env = env
+        self.expected = expected
+        self.statuses: dict[str, TxStatus] = {}
+        self.endorsement_failures = 0
+        self.blocks_seen = 0
+        self.block_fills: list[int] = []
+        self.first_submit_time: Optional[float] = None
+        self.last_commit_time = 0.0
+        self.done: Event = env.event()
+
+    # -- wiring -------------------------------------------------------------------
+
+    def on_block(self, committed: CommittedBlock, peer_name: str) -> None:
+        """EventHub subscriber: record every transaction in the block."""
+
+        self.blocks_seen += 1
+        self.block_fills.append(len(committed.block))
+        self.last_commit_time = max(self.last_commit_time, committed.commit_time)
+        for tx_index, tx in enumerate(committed.block.transactions):
+            if tx.tx_id in self.statuses:
+                continue
+            status = TxStatus(
+                tx_id=tx.tx_id,
+                code=committed.metadata.code_for(tx_index),
+                block_num=committed.block.number,
+                tx_num=tx_index,
+                submit_time=tx.proposal.submit_time,
+                commit_time=committed.commit_time,
+            )
+            self.statuses[tx.tx_id] = status
+            self._note_submit_time(tx.proposal.submit_time)
+            self._maybe_finish()
+
+    def on_endorsement_failure(self, tx_id: str, now: float) -> None:
+        """Flow callback for transactions that never reached ordering."""
+
+        if tx_id in self.statuses:
+            return
+        self.statuses[tx_id] = TxStatus(
+            tx_id=tx_id,
+            code=ValidationCode.ENDORSEMENT_POLICY_FAILURE,
+            submit_time=None,
+            commit_time=now,
+        )
+        self.endorsement_failures += 1
+        self._maybe_finish()
+
+    def _note_submit_time(self, submit_time: Optional[float]) -> None:
+        if submit_time is None:
+            return
+        if self.first_submit_time is None or submit_time < self.first_submit_time:
+            self.first_submit_time = submit_time
+
+    def _maybe_finish(self) -> None:
+        if len(self.statuses) >= self.expected and not self.done.triggered:
+            self.done.succeed(len(self.statuses))
+
+    # -- summary -------------------------------------------------------------------
+
+    def result(self, label: str, merge_work: Optional[dict] = None) -> BenchmarkResult:
+        succeeded = [s for s in self.statuses.values() if s.succeeded]
+        failed = [s for s in self.statuses.values() if not s.succeeded]
+        latencies = [s.latency for s in succeeded if s.latency is not None]
+        start = self.first_submit_time if self.first_submit_time is not None else 0.0
+        duration = max(self.last_commit_time - start, 1e-9)
+        failure_codes: dict[str, int] = {}
+        for status in failed:
+            failure_codes[status.code.name] = failure_codes.get(status.code.name, 0) + 1
+        merge_work = merge_work or {}
+        return BenchmarkResult(
+            label=label,
+            total_submitted=len(self.statuses),
+            successful=len(succeeded),
+            failed=len(failed),
+            duration_s=duration,
+            throughput_tps=len(succeeded) / duration,
+            avg_latency_s=(sum(latencies) / len(latencies)) if latencies else 0.0,
+            max_latency_s=max(latencies) if latencies else 0.0,
+            failure_codes=failure_codes,
+            blocks_committed=self.blocks_seen,
+            avg_block_fill=(sum(self.block_fills) / len(self.block_fills))
+            if self.block_fills
+            else 0.0,
+            merge_ops=int(merge_work.get("merge_ops", 0)),
+            merge_scan_steps=int(merge_work.get("merge_scan_steps", 0)),
+            endorsement_failures=self.endorsement_failures,
+        )

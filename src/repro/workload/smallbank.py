@@ -1,0 +1,200 @@
+"""SmallBank — the financial workload the paper rules *out* for CRDTs (§6).
+
+SmallBank (cited by the paper through Fabric++ [34]) models checking and
+savings accounts with the six classic operations.  §6 argues that asset
+transfers "are bad choices to be adapted as a CRDT-based blockchain
+application"; this module makes the argument executable by supporting three
+storage modes:
+
+* ``plain``    — balances as ordinary JSON through ``put_state``: full MVCC
+  protection, money conserved, overdrafts impossible — but concurrent
+  payments conflict and fail (the Fabric behaviour).
+* ``naive-crdt`` — the §6 anti-pattern: the same JSON balances through
+  ``put_crdt``.  Every transaction commits, but concurrent payments resolve
+  by last-writer-wins on the balance field: **money is created or
+  destroyed** (conservation violated; double-spends succeed).
+* ``pn-counter`` — balances as PN-Counter envelopes.  Increments and
+  decrements commute, so every transaction commits *and* money is conserved
+  — but nothing can enforce non-negativity: concurrent withdrawals can
+  overdraw.  This is the precise trade-off CRDTs offer for money.
+
+``tests/workload/test_smallbank.py`` checks conservation / failure / overdraft
+properties per mode; ``examples/smallbank.py`` tells the story end to end.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ChaincodeError
+from ..common.types import Json
+from ..crdt.pncounter import PNCounter
+from ..crdt.registry import crdt_from_dict_envelope, crdt_to_dict_envelope
+from ..fabric.chaincode import Chaincode, ShimStub
+
+MODES = ("plain", "naive-crdt", "pn-counter")
+
+
+def checking_key(account: str) -> str:
+    return f"checking/{account}"
+
+
+def savings_key(account: str) -> str:
+    return f"savings/{account}"
+
+
+class SmallBankChaincode(Chaincode):
+    """The six SmallBank operations over two keys per account.
+
+    Every mutating function takes ``mode`` as its last argument so one
+    deployment can demonstrate all three storage disciplines.
+    """
+
+    name = "smallbank"
+
+    # -- balance plumbing per mode -----------------------------------------
+
+    def _read_balance(self, stub: ShimStub, key: str) -> int:
+        value = stub.get_state(key)
+        if value is None:
+            raise ChaincodeError(f"unknown account key {key}")
+        if isinstance(value, dict) and "crdt" in value:
+            counter = crdt_from_dict_envelope(value)
+            return int(counter.value())
+        if isinstance(value, dict) and "balance" in value:
+            return int(value["balance"])
+        raise ChaincodeError(f"malformed balance at {key}")
+
+    def _write_balance(
+        self, stub: ShimStub, key: str, new_balance: int, mode: str
+    ) -> None:
+        if mode == "plain":
+            stub.put_state(key, {"balance": new_balance})
+        elif mode == "naive-crdt":
+            stub.put_crdt(key, {"balance": str(new_balance)})
+        else:
+            raise ChaincodeError(f"absolute writes unsupported in mode {mode!r}")
+
+    def _adjust_balance(
+        self, stub: ShimStub, key: str, delta: int, mode: str, actor: str
+    ) -> None:
+        """Apply a relative change.  In pn-counter mode this is a commuting
+        counter adjustment; in the other modes it is read-modify-write."""
+
+        if mode == "pn-counter":
+            value = stub.get_state(key)
+            counter = (
+                crdt_from_dict_envelope(value)
+                if isinstance(value, dict) and "crdt" in value
+                else PNCounter()
+            )
+            if not isinstance(counter, PNCounter):
+                raise ChaincodeError(f"{key} does not hold a PN-Counter")
+            adjusted = (
+                counter.increment(actor, delta)
+                if delta >= 0
+                else counter.decrement(actor, -delta)
+            )
+            stub.put_crdt(key, crdt_to_dict_envelope(adjusted))
+            return
+        current = self._read_balance(stub, key)
+        new_balance = current + delta
+        if mode == "plain" and new_balance < 0:
+            raise ChaincodeError(f"insufficient funds at {key}")
+        self._write_balance(stub, key, new_balance, mode)
+
+    @staticmethod
+    def _check_mode(mode: str) -> str:
+        if mode not in MODES:
+            raise ChaincodeError(f"unknown mode {mode!r}; pick one of {MODES}")
+        return mode
+
+    # -- the six operations --------------------------------------------------
+
+    def fn_create_account(
+        self, stub: ShimStub, account: str, checking: str, savings: str, mode: str
+    ) -> Json:
+        self._check_mode(mode)
+        if mode == "pn-counter":
+            stub.put_state(
+                checking_key(account),
+                crdt_to_dict_envelope(PNCounter().increment("mint", int(checking))),
+            )
+            stub.put_state(
+                savings_key(account),
+                crdt_to_dict_envelope(PNCounter().increment("mint", int(savings))),
+            )
+        else:
+            stub.put_state(checking_key(account), {"balance": int(checking)})
+            stub.put_state(savings_key(account), {"balance": int(savings)})
+        return {"created": account}
+
+    def fn_transact_savings(
+        self, stub: ShimStub, account: str, amount: str, mode: str
+    ) -> Json:
+        """Add ``amount`` (may be negative) to the savings balance."""
+
+        self._check_mode(mode)
+        self._adjust_balance(
+            stub, savings_key(account), int(amount), mode, actor=stub.tx_id
+        )
+        return {"ok": True}
+
+    def fn_deposit_checking(
+        self, stub: ShimStub, account: str, amount: str, mode: str
+    ) -> Json:
+        self._check_mode(mode)
+        if int(amount) < 0:
+            raise ChaincodeError("deposits must be non-negative")
+        self._adjust_balance(
+            stub, checking_key(account), int(amount), mode, actor=stub.tx_id
+        )
+        return {"ok": True}
+
+    def fn_send_payment(
+        self, stub: ShimStub, source: str, destination: str, amount: str, mode: str
+    ) -> Json:
+        """Move ``amount`` from one checking account to another."""
+
+        self._check_mode(mode)
+        value = int(amount)
+        if value < 0:
+            raise ChaincodeError("payments must be non-negative")
+        actor = stub.tx_id
+        self._adjust_balance(stub, checking_key(source), -value, mode, actor)
+        self._adjust_balance(stub, checking_key(destination), value, mode, actor)
+        return {"paid": value}
+
+    def fn_write_check(self, stub: ShimStub, account: str, amount: str, mode: str) -> Json:
+        self._check_mode(mode)
+        self._adjust_balance(
+            stub, checking_key(account), -int(amount), mode, actor=stub.tx_id
+        )
+        return {"ok": True}
+
+    def fn_amalgamate(self, stub: ShimStub, source: str, destination: str, mode: str) -> Json:
+        """Move all of ``source``'s funds into ``destination``'s checking."""
+
+        self._check_mode(mode)
+        actor = stub.tx_id
+        checking = self._read_balance(stub, checking_key(source))
+        savings = self._read_balance(stub, savings_key(source))
+        self._adjust_balance(stub, checking_key(source), -checking, mode, actor)
+        self._adjust_balance(stub, savings_key(source), -savings, mode, actor)
+        self._adjust_balance(
+            stub, checking_key(destination), checking + savings, mode, actor
+        )
+        return {"moved": checking + savings}
+
+    def fn_balance(self, stub: ShimStub, account: str) -> Json:
+        checking = self._read_balance(stub, checking_key(account))
+        savings = self._read_balance(stub, savings_key(account))
+        return {"checking": checking, "savings": savings, "total": checking + savings}
+
+
+def total_money(network, accounts) -> int:
+    """Sum of all balances across ``accounts`` on the anchor peer."""
+
+    total = 0
+    for account in accounts:
+        balances = network.query("smallbank", "balance", [account])
+        total += balances["total"]
+    return total

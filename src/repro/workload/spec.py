@@ -1,0 +1,126 @@
+"""Workload specifications matching the paper's configuration tables.
+
+One :class:`WorkloadSpec` captures everything Tables 1–5 vary: submission
+rate, read/write-set sizes, JSON payload shape, conflict percentage, and the
+transaction count.  Factory functions build the exact spec of each table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..common.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one experiment workload."""
+
+    #: Total transactions submitted (the paper always uses 10,000).
+    total_transactions: int = 10000
+    #: Aggregate submission rate across all clients (transactions/second).
+    rate_tps: float = 300.0
+    #: Number of submitting clients (the paper uses 4).
+    num_clients: int = 4
+    #: Keys read per transaction.
+    read_keys: int = 1
+    #: Keys written per transaction.
+    write_keys: int = 1
+    #: Top-level keys in the JSON payload (2 = Listing 3's shape).
+    json_keys: int = 2
+    #: Nesting depth of payload values (>1 switches to Listing-4 payloads).
+    nesting_depth: int = 1
+    #: Percentage of conflicting transactions (hot-key read-modify-writes).
+    conflict_pct: float = 100.0
+    #: Write through ``put_crdt`` (FabricCRDT) or ``put_state`` (Fabric).
+    use_crdt: bool = True
+    #: Use the read-modify-write accumulate variant of the chaincode.
+    accumulate: bool = False
+    #: Workload RNG seed.
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.total_transactions < 1:
+            raise WorkloadError("need at least one transaction")
+        if self.rate_tps <= 0:
+            raise WorkloadError("rate must be positive")
+        if self.num_clients < 1:
+            raise WorkloadError("need at least one client")
+        if self.read_keys < 0 or self.write_keys < 0:
+            raise WorkloadError("key counts cannot be negative")
+        if self.read_keys == 0 and self.write_keys == 0:
+            raise WorkloadError("transactions must read or write something")
+        if not 0.0 <= self.conflict_pct <= 100.0:
+            raise WorkloadError("conflict_pct must be within [0, 100]")
+        if self.json_keys < 1 or self.nesting_depth < 1:
+            raise WorkloadError("payload shape parameters must be >= 1")
+
+    # -- key naming -----------------------------------------------------------
+
+    def hot_keys(self) -> list[str]:
+        """The shared keys all conflicting transactions read and write.
+
+        §7.4: "we kept the set of read and write keys identical for all
+        transactions" — reads and writes draw from one hot pool sized by the
+        larger of the two counts.
+        """
+
+        pool = max(self.read_keys, self.write_keys, 1)
+        return [f"device-hot-{i}" for i in range(pool)]
+
+    def unique_keys(self, tx_index: int) -> list[str]:
+        """Per-transaction private keys for non-conflicting transactions."""
+
+        pool = max(self.read_keys, self.write_keys, 1)
+        return [f"device-u{tx_index}-{i}" for i in range(pool)]
+
+    def scaled(self, total_transactions: int) -> "WorkloadSpec":
+        """Same workload at a different transaction count (CI-scale runs)."""
+
+        return replace(self, total_transactions=total_transactions)
+
+    def with_crdt(self, use_crdt: bool) -> "WorkloadSpec":
+        return replace(self, use_crdt=use_crdt)
+
+
+# ---------------------------------------------------------------------------
+# The paper's configuration tables
+# ---------------------------------------------------------------------------
+
+
+def table1_spec(**overrides) -> WorkloadSpec:
+    """Table 1 (Figure 3, block-size sweep): 300 tx/s, 1R/1W, 2 JSON keys,
+    all transactions conflicting."""
+
+    return WorkloadSpec(**{**dict(rate_tps=300.0, read_keys=1, write_keys=1,
+                                  json_keys=2, conflict_pct=100.0), **overrides})
+
+
+def table2_spec(read_keys: int, write_keys: int, **overrides) -> WorkloadSpec:
+    """Table 2 (Figure 4, read/write sweep): 300 tx/s, 2 JSON keys."""
+
+    return WorkloadSpec(**{**dict(rate_tps=300.0, read_keys=read_keys,
+                                  write_keys=write_keys, json_keys=2,
+                                  conflict_pct=100.0), **overrides})
+
+
+def table3_spec(json_keys: int, nesting_depth: int, **overrides) -> WorkloadSpec:
+    """Table 3 (Figure 5, JSON complexity): 300 tx/s, 1R/1W."""
+
+    return WorkloadSpec(**{**dict(rate_tps=300.0, read_keys=1, write_keys=1,
+                                  json_keys=json_keys, nesting_depth=nesting_depth,
+                                  conflict_pct=100.0), **overrides})
+
+
+def table4_spec(rate_tps: float, **overrides) -> WorkloadSpec:
+    """Table 4 (Figure 6, arrival-rate sweep): 1R/1W, 2 JSON keys."""
+
+    return WorkloadSpec(**{**dict(rate_tps=rate_tps, read_keys=1, write_keys=1,
+                                  json_keys=2, conflict_pct=100.0), **overrides})
+
+
+def table5_spec(conflict_pct: float, **overrides) -> WorkloadSpec:
+    """Table 5 (Figure 7, conflict-percentage sweep): 300 tx/s, 1R/1W."""
+
+    return WorkloadSpec(**{**dict(rate_tps=300.0, read_keys=1, write_keys=1,
+                                  json_keys=2, conflict_pct=conflict_pct), **overrides})

@@ -1,0 +1,68 @@
+"""Unit tests for the closed-form performance model."""
+
+import pytest
+
+from repro.bench.analytic import block_commit_time, predict_figure3, predict_point
+from repro.bench.calibration import calibrated_cost_model
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return calibrated_cost_model()
+
+
+class TestBlockCommitTime:
+    def test_grows_superlinearly(self, cost):
+        small = block_commit_time(50, cost)
+        large = block_commit_time(200, cost)
+        assert large > 4 * small  # superlinear: 4x block, >4x time
+
+    def test_complexity_increases_time(self, cost):
+        flat = block_commit_time(25, cost, json_keys=2, nesting_depth=1)
+        nested = block_commit_time(25, cost, json_keys=6, nesting_depth=6)
+        assert nested > flat
+
+    def test_anchor_value(self, cost):
+        # The fig3 anchor: 1000-tx blocks at 20 tx/s -> 50 s.
+        assert block_commit_time(1000, cost) == pytest.approx(50.0, rel=0.02)
+
+
+class TestPredictPoint:
+    def test_small_blocks_endorsement_bound(self, cost):
+        point = predict_point(25, cost=cost)
+        assert point.bottleneck == "endorsement"
+        assert point.throughput_tps == pytest.approx(
+            cost.endorsement_capacity_tps(1, 1), rel=0.01
+        )
+
+    def test_large_blocks_commit_bound(self, cost):
+        point = predict_point(1000, cost=cost)
+        assert point.bottleneck == "commit"
+        assert point.throughput_tps < 50
+
+    def test_low_rate_arrival_bound(self, cost):
+        point = predict_point(25, arrival_tps=50.0, cost=cost)
+        assert point.bottleneck == "arrival"
+        assert point.throughput_tps == pytest.approx(50.0)
+        assert point.avg_latency_s < 1.0  # no queueing below capacity
+
+    def test_overload_latency_reflects_deficit(self, cost):
+        point = predict_point(400, arrival_tps=300.0, total_transactions=10000, cost=cost)
+        assert point.avg_latency_s > 10  # deficit queueing dominates
+
+    def test_timeout_caps_effective_block(self, cost):
+        capped = predict_point(1000, arrival_tps=300.0, cost=cost)
+        uncapped_time = block_commit_time(1000, cost)
+        assert capped.block_time_s < uncapped_time  # computed for 600, not 1000
+
+
+class TestPredictFigure3:
+    def test_monotone_after_knee(self, cost):
+        predictions = predict_figure3((100, 200, 400), cost=cost)
+        tps = [predictions[size].throughput_tps for size in (100, 200, 400)]
+        assert tps[0] > tps[1] > tps[2]
+
+    def test_all_points_present(self, cost):
+        sizes = (25, 50, 100)
+        predictions = predict_figure3(sizes, cost=cost)
+        assert set(predictions) == set(sizes)

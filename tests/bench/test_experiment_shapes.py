@@ -1,0 +1,107 @@
+"""Shape assertions for the figure experiments at CI scale.
+
+These tests run each figure's sweep at a small transaction count and check
+the paper's *qualitative* findings — the claims §7 actually makes — rather
+than absolute numbers:
+
+* FabricCRDT commits every submitted transaction in every configuration;
+  vanilla Fabric commits almost none under all-conflicting workloads.
+* FabricCRDT throughput decreases as blocks grow (Figure 3) and as JSON
+  complexity grows (Figure 5); latency moves the other way.
+* Throughput saturates with arrival rate (Figure 6).
+* Fabric's failures grow with the conflict percentage while FabricCRDT's
+  stay at zero (Figure 7).
+"""
+
+import pytest
+
+from repro.bench.calibration import calibrated_cost_model
+from repro.bench.experiments import (
+    ExperimentScale,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+)
+
+SCALE = ExperimentScale(transactions=400, light_topology=True)
+COST = calibrated_cost_model()
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return figure3(SCALE, block_sizes=(25, 100, 400), cost=COST)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return figure7(SCALE, conflict_percentages=(0, 80), cost=COST)
+
+
+class TestFigure3Shape:
+    def test_crdt_commits_everything(self, fig3):
+        for result in fig3.crdt.values():
+            assert result.successful == 400
+            assert result.failed == 0
+
+    def test_fabric_commits_almost_nothing(self, fig3):
+        for result in fig3.fabric.values():
+            assert result.successful < 40
+            assert result.failure_codes.get("MVCC_READ_CONFLICT", 0) > 350
+
+    def test_crdt_throughput_decreases_with_block_size(self, fig3):
+        tps = [fig3.crdt[size].throughput_tps for size in (25, 100, 400)]
+        assert tps[0] > tps[1] > tps[2]
+
+    def test_crdt_latency_increases_with_block_size(self, fig3):
+        latency = [fig3.crdt[size].avg_latency_s for size in (25, 100, 400)]
+        assert latency[0] < latency[1] < latency[2]
+
+    def test_crdt_beats_fabric_on_successful_throughput(self, fig3):
+        for size in (25, 100, 400):
+            assert fig3.crdt[size].throughput_tps > 20 * fig3.fabric[size].throughput_tps
+
+
+class TestFigure5Shape:
+    def test_complexity_degrades_throughput(self):
+        result = figure5(SCALE, complexity=((2, 2), (6, 6)), cost=COST)
+        assert (
+            result.crdt[(2, 2)].throughput_tps > result.crdt[(6, 6)].throughput_tps
+        )
+        for point in result.crdt.values():
+            assert point.successful == 400
+
+
+class TestFigure6Shape:
+    def test_throughput_saturates(self):
+        result = figure6(SCALE, rates=(100, 500), cost=COST)
+        low, high = result.crdt[100], result.crdt[500]
+        # At 100 tx/s the system keeps up; at 500 it saturates below offered.
+        assert low.throughput_tps == pytest.approx(100, rel=0.15)
+        assert high.throughput_tps < 350
+        assert high.avg_latency_s > low.avg_latency_s
+
+
+class TestFigure7Shape:
+    def test_fabric_failures_grow_with_conflicts(self, fig7):
+        assert fig7.fabric[0].successful == 400
+        assert fig7.fabric[80].successful < 250
+
+    def test_crdt_never_fails(self, fig7):
+        for result in fig7.crdt.values():
+            assert result.failed == 0
+
+    def test_systems_comparable_at_zero_conflicts(self, fig7):
+        # At CI scale (400 txs) vanilla Fabric commits a single 400-tx block,
+        # so its measured duration is dominated by that one block's tail and
+        # throughput under-reads; at full scale the two systems converge
+        # (see EXPERIMENTS.md).  Allow a generous but bounded gap here.
+        crdt_tps = fig7.crdt[0].throughput_tps
+        fabric_tps = fig7.fabric[0].throughput_tps
+        assert abs(crdt_tps - fabric_tps) / max(crdt_tps, fabric_tps) < 0.65
+
+    def test_comparison_rows_include_paper_numbers(self, fig7):
+        rows = fig7.comparison_rows()
+        zero_row = next(r for r in rows if r["sweep"] == 0)
+        assert zero_row["fabric_paper_tps"] == 222.6
+        assert zero_row["crdt_measured_tps"] is not None

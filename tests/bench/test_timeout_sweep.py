@@ -1,0 +1,30 @@
+"""Tests for the timeout-sweep extension experiment."""
+
+import pytest
+
+from repro.bench.calibration import calibrated_cost_model
+from repro.bench.experiments import ExperimentScale, timeout_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    scale = ExperimentScale(transactions=600, light_topology=True)
+    return timeout_sweep(
+        scale, timeouts_s=(0.5, 2.0), block_size=1000, cost=calibrated_cost_model()
+    )
+
+
+class TestTimeoutSweep:
+    def test_short_timeout_means_small_blocks_and_high_throughput(self, sweep):
+        short, paper_default = sweep.crdt[0.5], sweep.crdt[2.0]
+        assert short.avg_block_fill < paper_default.avg_block_fill
+        assert short.throughput_tps > paper_default.throughput_tps
+
+    def test_all_transactions_commit_regardless(self, sweep):
+        for result in sweep.crdt.values():
+            assert result.successful == 600
+
+    def test_effective_block_size_capped_by_rate_times_timeout(self, sweep):
+        # 300 tx/s * 0.5 s = 150 transactions per timeout-cut block.
+        short = sweep.crdt[0.5]
+        assert short.avg_block_fill <= 160

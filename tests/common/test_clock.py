@@ -1,0 +1,60 @@
+"""Tests for Lamport clocks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.clock import LamportClock, LamportTimestamp
+
+
+class TestLamportTimestamp:
+    def test_total_order(self):
+        assert LamportTimestamp(1, "a") < LamportTimestamp(2, "a")
+        assert LamportTimestamp(1, "a") < LamportTimestamp(1, "b")
+        assert LamportTimestamp(2, "a") > LamportTimestamp(1, "z")
+
+    def test_string_roundtrip(self):
+        stamp = LamportTimestamp(42, "peer1")
+        assert LamportTimestamp.parse(str(stamp)) == stamp
+
+    @given(st.integers(0, 1000), st.text(min_size=1, max_size=8, alphabet="abc123"))
+    def test_parse_any(self, counter, actor):
+        stamp = LamportTimestamp(counter, actor)
+        assert LamportTimestamp.parse(str(stamp)) == stamp
+
+
+class TestLamportClock:
+    def test_tick_monotonic(self):
+        clock = LamportClock("a")
+        stamps = [clock.tick() for _ in range(5)]
+        assert stamps == sorted(stamps)
+        assert [s.counter for s in stamps] == [1, 2, 3, 4, 5]
+
+    def test_merge_advances(self):
+        clock = LamportClock("a")
+        clock.tick()
+        clock.merge(LamportTimestamp(10, "b"))
+        assert clock.tick().counter == 11
+
+    def test_merge_never_rewinds(self):
+        clock = LamportClock("a", start=20)
+        clock.merge(LamportTimestamp(3, "b"))
+        assert clock.time == 20
+
+    def test_peek_does_not_advance(self):
+        clock = LamportClock("a")
+        assert clock.peek() == LamportTimestamp(1, "a")
+        assert clock.time == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LamportClock("")
+        with pytest.raises(ValueError):
+            LamportClock("a", start=-1)
+
+    def test_two_clocks_exchange_preserves_causality(self):
+        a, b = LamportClock("a"), LamportClock("b")
+        stamp_a = a.tick()
+        b.merge(stamp_a)
+        stamp_b = b.tick()
+        assert stamp_b > stamp_a

@@ -1,0 +1,71 @@
+"""Tests for configuration validation and factories."""
+
+import pytest
+
+from repro.common.config import (
+    CRDTConfig,
+    NetworkConfig,
+    OrdererConfig,
+    TopologyConfig,
+    fabric_config,
+    fabriccrdt_config,
+)
+from repro.common.errors import ConfigError
+
+
+class TestOrdererConfig:
+    def test_defaults_match_paper(self):
+        config = OrdererConfig()
+        assert config.max_message_count == 400
+        assert config.preferred_max_bytes == 128 * 1024 * 1024
+        assert config.batch_timeout_s == 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_message_count": 0},
+            {"preferred_max_bytes": 0},
+            {"batch_timeout_s": 0.0},
+            {"batch_timeout_s": -1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            OrdererConfig(**kwargs)
+
+
+class TestTopologyConfig:
+    def test_paper_defaults(self):
+        topology = TopologyConfig()
+        assert topology.org_names == ("Org1", "Org2", "Org3")
+        assert topology.total_peers == 6
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(num_orgs=0)
+        with pytest.raises(ConfigError):
+            TopologyConfig(peers_per_org=0)
+        with pytest.raises(ConfigError):
+            TopologyConfig(channel="")
+
+
+class TestNetworkConfig:
+    def test_with_block_size_preserves_everything_else(self):
+        config = fabriccrdt_config(25, seed=5)
+        resized = config.with_block_size(100)
+        assert resized.orderer.max_message_count == 100
+        assert resized.crdt_enabled
+        assert resized.seed == 5
+        assert resized.orderer.batch_timeout_s == config.orderer.batch_timeout_s
+
+    def test_factories(self):
+        assert not fabric_config().crdt_enabled
+        assert fabric_config().orderer.max_message_count == 400
+        assert fabriccrdt_config().crdt_enabled
+        assert fabriccrdt_config().orderer.max_message_count == 25
+
+    def test_crdt_defaults(self):
+        crdt = CRDTConfig()
+        assert not crdt.seed_from_state  # the literal Algorithm 1
+        assert crdt.dedup_identical
+        assert crdt.stringify_scalars

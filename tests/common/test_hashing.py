@@ -1,0 +1,82 @@
+"""Tests for hashing utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.hashing import (
+    chain_hash,
+    hmac_sign,
+    hmac_verify,
+    merkle_root,
+    sha256,
+    sha256_hex,
+    short_hash,
+    stable_int,
+)
+
+
+class TestDigests:
+    def test_sha256_known_vector(self):
+        assert (
+            sha256_hex(b"")
+            == "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_short_hash_prefix(self):
+        assert short_hash(b"x", 8) == sha256_hex(b"x")[:8]
+
+    def test_chain_hash_depends_on_both_inputs(self):
+        base = chain_hash(b"\x00" * 32, b"payload")
+        assert chain_hash(b"\x01" * 32, b"payload") != base
+        assert chain_hash(b"\x00" * 32, b"other") != base
+
+
+class TestMerkle:
+    def test_empty(self):
+        assert merkle_root([]) == sha256(b"")
+
+    def test_single_leaf(self):
+        assert merkle_root([b"a"]) == sha256(b"a")
+
+    def test_order_sensitivity(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+
+    def test_content_sensitivity(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"a", b"c"])
+
+    @given(st.lists(st.binary(max_size=16), min_size=1, max_size=9))
+    def test_deterministic(self, leaves):
+        assert merkle_root(leaves) == merkle_root(list(leaves))
+
+    def test_odd_leaf_duplication(self):
+        # Three leaves: the implementation duplicates the odd leaf.
+        a, b, c = sha256(b"a"), sha256(b"b"), sha256(b"c")
+        expected = sha256(sha256(a + b) + sha256(c + c))
+        assert merkle_root([b"a", b"b", b"c"]) == expected
+
+
+class TestHmac:
+    def test_sign_verify_roundtrip(self):
+        signature = hmac_sign(b"secret", b"payload")
+        assert hmac_verify(b"secret", b"payload", signature)
+
+    def test_wrong_secret_rejected(self):
+        signature = hmac_sign(b"secret", b"payload")
+        assert not hmac_verify(b"other", b"payload", signature)
+
+    def test_wrong_payload_rejected(self):
+        signature = hmac_sign(b"secret", b"payload")
+        assert not hmac_verify(b"secret", b"tampered", signature)
+
+
+class TestStableInt:
+    @given(st.binary(max_size=32), st.integers(1, 1000))
+    def test_in_range_and_stable(self, data, modulus):
+        value = stable_int(data, modulus)
+        assert 0 <= value < modulus
+        assert stable_int(data, modulus) == value
+
+    def test_zero_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            stable_int(b"x", 0)

@@ -1,0 +1,111 @@
+"""Tests for the shared value types."""
+
+import pytest
+
+from repro.common.types import (
+    Counterstats,
+    ReadItem,
+    ReadWriteSet,
+    TxStatus,
+    ValidationCode,
+    Version,
+    WriteItem,
+)
+
+
+class TestVersion:
+    def test_ordering_matches_commit_order(self):
+        assert Version(0, 5) < Version(1, 0)
+        assert Version(1, 0) < Version(1, 1)
+        assert Version(2, 0) > Version(1, 99)
+
+    def test_string_roundtrip(self):
+        version = Version(12, 34)
+        assert Version.parse(str(version)) == version
+
+    def test_str_format(self):
+        assert str(Version(3, 7)) == "3:7"
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            Version(-1, 0)
+        with pytest.raises(ValueError):
+            Version(0, -2)
+
+    def test_equality_and_hash(self):
+        assert Version(1, 2) == Version(1, 2)
+        assert hash(Version(1, 2)) == hash(Version(1, 2))
+        assert Version(1, 2) != Version(2, 1)
+
+
+class TestValidationCode:
+    def test_only_valid_is_valid(self):
+        assert ValidationCode.VALID.is_valid
+        for code in ValidationCode:
+            if code is not ValidationCode.VALID:
+                assert not code.is_valid
+
+    def test_fabric_enum_values(self):
+        # The numeric values mirror Fabric's TxValidationCode.
+        assert ValidationCode.VALID.value == 0
+        assert ValidationCode.MVCC_READ_CONFLICT.value == 11
+        assert ValidationCode.PHANTOM_READ_CONFLICT.value == 12
+        assert ValidationCode.ENDORSEMENT_POLICY_FAILURE.value == 10
+
+
+class TestWriteItem:
+    def test_delete_with_value_rejected(self):
+        with pytest.raises(ValueError):
+            WriteItem("k", b"data", is_delete=True)
+
+    def test_crdt_delete_rejected(self):
+        with pytest.raises(ValueError):
+            WriteItem("k", b"", is_delete=True, is_crdt=True)
+
+    def test_plain_write(self):
+        write = WriteItem("k", b"v")
+        assert not write.is_delete and not write.is_crdt
+
+
+class TestReadWriteSet:
+    def test_key_accessors(self):
+        rwset = ReadWriteSet.build(
+            reads=[ReadItem("a", Version(0, 0)), ReadItem("b", None)],
+            writes=[WriteItem("c", b"1"), WriteItem("d", b"2", is_crdt=True)],
+        )
+        assert rwset.read_keys == ("a", "b")
+        assert rwset.write_keys == ("c", "d")
+        assert rwset.has_crdt_writes
+        assert not rwset.is_read_only
+
+    def test_read_only(self):
+        rwset = ReadWriteSet.build(reads=[ReadItem("a", None)])
+        assert rwset.is_read_only
+        assert not rwset.has_crdt_writes
+
+    def test_merged_with_concatenates(self):
+        left = ReadWriteSet.build(reads=[ReadItem("a", None)])
+        right = ReadWriteSet.build(writes=[WriteItem("b", b"x")])
+        merged = left.merged_with(right)
+        assert merged.read_keys == ("a",)
+        assert merged.write_keys == ("b",)
+
+
+class TestTxStatus:
+    def test_latency(self):
+        status = TxStatus("t", ValidationCode.VALID, submit_time=1.0, commit_time=3.5)
+        assert status.latency == pytest.approx(2.5)
+        assert status.succeeded
+
+    def test_latency_unknown_when_missing_times(self):
+        assert TxStatus("t", ValidationCode.VALID).latency is None
+
+
+class TestCounterstats:
+    def test_bump_and_get(self):
+        stats = Counterstats()
+        stats.bump("a")
+        stats.bump("a", 4)
+        assert stats.get("a") == 5
+        assert stats.get("missing") == 0
+        assert stats.as_dict() == {"a": 5}

@@ -1,0 +1,189 @@
+"""Unit tests for Algorithm 1 (ValidateMergeBlock)."""
+
+from repro.common.config import CRDTConfig
+from repro.common.serialization import from_bytes, to_bytes
+from repro.common.types import ReadItem, ReadWriteSet, ValidationCode, Version, WriteItem
+from repro.core.blockmerge import validate_merge_block
+from repro.fabric.block import GENESIS_PREVIOUS_HASH, Block
+from repro.fabric.statedb import StateDB
+
+from ..fabric.helpers import build_peer, endorsed_tx, write_rwset
+
+
+def crdt_tx(peer, nonce, key, value, reads=()):
+    return endorsed_tx(peer, write_rwset((key, value), reads=reads, crdt=True), nonce)
+
+
+def build_block(peer, txs):
+    return Block.build(peer.ledger.height, peer.ledger.last_hash, tuple(txs))
+
+
+def run_algorithm1(peer, txs, config=CRDTConfig(), precodes=None):
+    block = build_block(peer, txs)
+    codes = precodes if precodes is not None else [None] * len(txs)
+    return block, validate_merge_block(block, codes, peer.ledger.state, config)
+
+
+class TestFirstPass:
+    def test_crdt_txs_skip_mvcc(self):
+        peer = build_peer()
+        txs = [crdt_tx(peer, i, "k", {"l": [str(i)]}) for i in range(3)]
+        _, plan = run_algorithm1(peer, txs)
+        assert plan.skip_mvcc == frozenset({0, 1, 2})
+
+    def test_non_crdt_txs_left_alone(self):
+        peer = build_peer()
+        plain = endorsed_tx(peer, write_rwset(("p", {"x": 1})), 1)
+        flagged = crdt_tx(peer, 2, "k", {"l": ["a"]})
+        _, plan = run_algorithm1(peer, [plain, flagged])
+        assert plan.skip_mvcc == frozenset({1})
+        assert 0 not in plan.replacement_writes
+
+    def test_endorsement_failed_txs_excluded(self):
+        """Only transactions passing endorsement validation are merged
+        (the paper's definition of valid transactions, §4.2)."""
+
+        peer = build_peer()
+        txs = [crdt_tx(peer, i, "k", {"l": [str(i)]}) for i in range(2)]
+        _, plan = run_algorithm1(
+            peer, txs, precodes=[ValidationCode.ENDORSEMENT_POLICY_FAILURE, None]
+        )
+        assert plan.skip_mvcc == frozenset({1})
+        merged = from_bytes(plan.replacement_writes[1][0].value)
+        assert merged == {"l": ["1"]}  # tx 0's value not merged
+
+    def test_merge_work_counters(self):
+        peer = build_peer()
+        txs = [crdt_tx(peer, i, "k", {"l": [str(i)]}) for i in range(4)]
+        _, plan = run_algorithm1(peer, txs)
+        assert plan.work["merge_docs"] == 1
+        assert plan.work["merge_ops"] > 0
+        assert plan.work["merge_scan_steps"] > 0
+
+
+class TestSecondPass:
+    def test_all_crdt_writes_get_identical_merged_value(self):
+        """Listing 2: after merging, every transaction's write-set holds the
+        same converged value."""
+
+        peer = build_peer()
+        txs = [crdt_tx(peer, i, "dev", {"r": [{"t": str(20 + i)}]}) for i in range(3)]
+        _, plan = run_algorithm1(peer, txs)
+        values = {plan.replacement_writes[i][0].value for i in range(3)}
+        assert len(values) == 1
+        merged = from_bytes(values.pop())
+        assert merged == {"r": [{"t": "20"}, {"t": "21"}, {"t": "22"}]}
+
+    def test_multiple_keys_merged_independently(self):
+        peer = build_peer()
+        tx_a = crdt_tx(peer, 1, "ka", {"l": ["a"]})
+        tx_b = crdt_tx(peer, 2, "kb", {"l": ["b"]})
+        _, plan = run_algorithm1(peer, [tx_a, tx_b])
+        assert plan.work["merge_docs"] == 2
+        assert from_bytes(plan.replacement_writes[0][0].value) == {"l": ["a"]}
+        assert from_bytes(plan.replacement_writes[1][0].value) == {"l": ["b"]}
+
+    def test_mixed_writes_only_crdt_replaced(self):
+        peer = build_peer()
+        rwset = ReadWriteSet.build(
+            writes=[
+                WriteItem("plain", to_bytes({"p": 1})),
+                WriteItem("flagged", to_bytes({"l": ["x"]}), is_crdt=True),
+            ]
+        )
+        tx = endorsed_tx(peer, rwset, 1)
+        _, plan = run_algorithm1(peer, [tx])
+        new_writes = plan.replacement_writes[0]
+        assert new_writes[0].value == to_bytes({"p": 1})  # untouched
+        assert from_bytes(new_writes[1].value) == {"l": ["x"]}
+        assert new_writes[1].is_crdt
+
+
+class TestDeterminism:
+    def test_two_peers_compute_identical_plans(self):
+        peer_a = build_peer(name="peerA")
+        peer_b = build_peer(name="peerB", membership=peer_a.membership,
+                            chaincodes=peer_a.chaincodes)
+        txs = [crdt_tx(peer_a, i, "k", {"l": [{"t": str(i)}]}) for i in range(5)]
+        block = build_block(peer_a, txs)
+        config = CRDTConfig()
+        plan_a = validate_merge_block(block, [None] * 5, peer_a.ledger.state, config)
+        plan_b = validate_merge_block(block, [None] * 5, peer_b.ledger.state, config)
+        for index in range(5):
+            assert (
+                plan_a.replacement_writes[index] == plan_b.replacement_writes[index]
+            )
+
+    def test_rerunning_merge_on_committed_block_reproduces_effective_writes(self):
+        """The world state stays a *replayable* function of the raw chain:
+        re-running Algorithm 1 on the stored block regenerates exactly the
+        effective writes the peer applied."""
+
+        from repro.core.peer import CRDTPeer
+
+        peer = build_peer(peer_cls=CRDTPeer)
+        txs = [crdt_tx(peer, i, "k", {"l": [str(i)]}) for i in range(4)]
+        block = build_block(peer, txs)
+        committed = peer.validate_and_commit(block)
+        fresh_state = StateDB()
+        replan = validate_merge_block(block, [None] * 4, fresh_state, CRDTConfig())
+        regenerated = []
+        for tx_index, tx in enumerate(block.transactions):
+            for write in replan.replacement_writes.get(tx_index, tx.rwset.writes):
+                regenerated.append((tx_index, write))
+        assert tuple(regenerated) == committed.effective_writes
+
+
+class TestBadPayloads:
+    def test_unparseable_value_forces_bad_payload(self):
+        peer = build_peer()
+        rwset = ReadWriteSet.build(writes=[WriteItem("k", b"\xff\xfe", is_crdt=True)])
+        bad = endorsed_tx(peer, rwset, 1)
+        good = crdt_tx(peer, 2, "k", {"l": ["ok"]})
+        _, plan = run_algorithm1(peer, [bad, good])
+        assert plan.forced_codes == {0: ValidationCode.BAD_PAYLOAD}
+        assert plan.skip_mvcc == frozenset({1})
+        assert from_bytes(plan.replacement_writes[1][0].value) == {"l": ["ok"]}
+
+    def test_non_object_value_forces_bad_payload(self):
+        peer = build_peer()
+        rwset = ReadWriteSet.build(
+            writes=[WriteItem("k", to_bytes(["array", "top"]), is_crdt=True)]
+        )
+        tx = endorsed_tx(peer, rwset, 1)
+        _, plan = run_algorithm1(peer, [tx])
+        assert plan.forced_codes == {0: ValidationCode.BAD_PAYLOAD}
+
+    def test_kind_mix_on_one_key_rejected(self):
+        from repro.crdt import GCounter
+        from repro.crdt.registry import crdt_to_dict_envelope
+
+        peer = build_peer()
+        json_tx = crdt_tx(peer, 1, "k", {"l": ["x"]})
+        envelope_tx = crdt_tx(
+            peer, 2, "k", crdt_to_dict_envelope(GCounter().increment("a"))
+        )
+        _, plan = run_algorithm1(peer, [json_tx, envelope_tx])
+        assert plan.skip_mvcc == frozenset({0})
+        assert plan.forced_codes == {1: ValidationCode.BAD_PAYLOAD}
+
+
+class TestSeeding:
+    def test_literal_algorithm_starts_empty(self):
+        peer = build_peer()
+        peer.ledger.state.apply_write(
+            "k", to_bytes({"l": ["committed"]}), Version(0, 0)
+        )
+        tx = crdt_tx(peer, 1, "k", {"l": ["new"]})
+        _, plan = run_algorithm1(peer, [tx], config=CRDTConfig(seed_from_state=False))
+        assert from_bytes(plan.replacement_writes[0][0].value) == {"l": ["new"]}
+
+    def test_seeded_merge_includes_committed_state(self):
+        peer = build_peer()
+        peer.ledger.state.apply_write(
+            "k", to_bytes({"l": ["committed"]}), Version(0, 0)
+        )
+        tx = crdt_tx(peer, 1, "k", {"l": ["new"]})
+        _, plan = run_algorithm1(peer, [tx], config=CRDTConfig(seed_from_state=True))
+        merged = from_bytes(plan.replacement_writes[0][0].value)
+        assert merged == {"l": ["committed", "new"]}

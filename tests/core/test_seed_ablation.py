@@ -1,0 +1,92 @@
+"""The seed-from-state design decision (DESIGN.md §3, decision 1).
+
+Algorithm 1 as written instantiates a *fresh* CRDT per block and merges only
+that block's values.  When every transaction in a block was endorsed against
+pre-previous-block state (entirely possible under the paper's own latency
+argument), the merged value overwrites the newer committed state — an
+update-loss anomaly across blocks.  ``seed_from_state=True`` closes it.
+"""
+
+from repro.common.config import CRDTConfig
+from repro.common.serialization import from_bytes
+from repro.core.peer import CRDTPeer
+from repro.fabric.block import Block
+
+from ..fabric.helpers import build_peer, endorsed_tx, write_rwset
+
+
+def _stale_two_block_run(peer):
+    """Block 1 writes reading 'a'; block 2's only transaction carries a
+    write generated *before* block 1 committed (it contains only 'b')."""
+
+    early_tx_1 = endorsed_tx(peer, write_rwset(("dev", {"r": ["a"]}), crdt=True), 1)
+    early_tx_2 = endorsed_tx(peer, write_rwset(("dev", {"r": ["b"]}), crdt=True), 2)
+    block1 = Block.build(peer.ledger.height, peer.ledger.last_hash, (early_tx_1,))
+    peer.validate_and_commit(block1)
+    block2 = Block.build(peer.ledger.height, peer.ledger.last_hash, (early_tx_2,))
+    peer.validate_and_commit(block2)
+    return from_bytes(peer.ledger.state.get_value("dev"))
+
+
+class TestLiteralAlgorithmLosesAcrossBlocks:
+    def test_update_loss_demonstrated(self):
+        peer = build_peer(
+            peer_cls=CRDTPeer, crdt_config=CRDTConfig(seed_from_state=False)
+        )
+        final = _stale_two_block_run(peer)
+        assert final == {"r": ["b"]}  # reading 'a' was lost
+
+
+class TestSeededAlgorithmPreservesUpdates:
+    def test_no_update_loss(self):
+        peer = build_peer(
+            peer_cls=CRDTPeer, crdt_config=CRDTConfig(seed_from_state=True)
+        )
+        final = _stale_two_block_run(peer)
+        assert final == {"r": ["a", "b"]}
+
+    def test_seeding_is_idempotent_for_read_modify_write(self):
+        """With read-modify-write payloads (the accumulate chaincode), the
+        seeded merge does not duplicate items the writes already carry."""
+
+        peer = build_peer(
+            peer_cls=CRDTPeer, crdt_config=CRDTConfig(seed_from_state=True)
+        )
+        first = endorsed_tx(peer, write_rwset(("dev", {"r": ["a"]}), crdt=True), 1)
+        block1 = Block.build(0, peer.ledger.last_hash, (first,))
+        peer.validate_and_commit(block1)
+        # This writer read {'r': ['a']} and appended 'b' — its payload
+        # already carries 'a'; the seeded merge must not double it.
+        rmw = endorsed_tx(peer, write_rwset(("dev", {"r": ["a", "b"]}), crdt=True), 2)
+        block2 = Block.build(1, peer.ledger.last_hash, (rmw,))
+        peer.validate_and_commit(block2)
+        assert from_bytes(peer.ledger.state.get_value("dev")) == {"r": ["a", "b"]}
+
+
+class TestDedupAblation:
+    def test_naive_ids_duplicate_under_read_modify_write(self):
+        """dedup_identical=False reproduces the duplicate-amplification
+        anomaly for overlapping read-modify-write payloads."""
+
+        config = CRDTConfig(dedup_identical=False)
+        peer = build_peer(peer_cls=CRDTPeer, crdt_config=config)
+        txs = [
+            endorsed_tx(peer, write_rwset(("dev", {"r": ["base", str(i)]}), crdt=True), i)
+            for i in range(3)
+        ]
+        block = Block.build(0, peer.ledger.last_hash, tuple(txs))
+        peer.validate_and_commit(block)
+        final = from_bytes(peer.ledger.state.get_value("dev"))
+        assert final["r"].count("base") == 3  # amplified
+
+    def test_content_ids_deduplicate(self):
+        peer = build_peer(peer_cls=CRDTPeer, crdt_config=CRDTConfig())
+        txs = [
+            endorsed_tx(peer, write_rwset(("dev", {"r": ["base", str(i)]}), crdt=True), i)
+            for i in range(3)
+        ]
+        block = Block.build(0, peer.ledger.last_hash, tuple(txs))
+        peer.validate_and_commit(block)
+        final = from_bytes(peer.ledger.state.get_value("dev"))
+        assert final["r"].count("base") == 1
+        assert {"0", "1", "2"} <= set(final["r"])

@@ -1,0 +1,204 @@
+"""Property-based tests: every state-based CRDT is a join-semilattice.
+
+For each concrete type we generate random instances and check the three
+merge laws — commutativity, associativity, idempotence — plus monotonicity
+of merge with respect to each operand (merging never loses elements).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import LamportTimestamp
+from repro.crdt import (
+    GCounter,
+    GSet,
+    LWWRegister,
+    MVRegister,
+    ORMap,
+    ORSet,
+    PNCounter,
+    RGA,
+    TwoPhaseSet,
+)
+
+actors = st.sampled_from(["a", "b", "c"])
+elements = st.one_of(
+    st.text(max_size=6),
+    st.integers(-100, 100),
+    st.dictionaries(st.sampled_from(["k1", "k2"]), st.integers(0, 9), max_size=2),
+)
+
+
+@st.composite
+def gcounters(draw):
+    counts = draw(st.dictionaries(actors, st.integers(0, 50), max_size=3))
+    return GCounter(counts)
+
+
+@st.composite
+def pncounters(draw):
+    return PNCounter(draw(gcounters()), draw(gcounters()))
+
+
+@st.composite
+def gsets(draw):
+    return GSet(draw(st.lists(elements, max_size=5)))
+
+
+@st.composite
+def twophase_sets(draw):
+    result = TwoPhaseSet()
+    for element in draw(st.lists(elements, max_size=4)):
+        result = result.add(element)
+    for element in draw(st.lists(elements, max_size=2)):
+        result = result.remove(element)
+    return result
+
+
+@st.composite
+def orsets(draw):
+    result = ORSet()
+    operations = draw(
+        st.lists(st.tuples(st.booleans(), elements, st.integers(0, 99)), max_size=6)
+    )
+    for is_add, element, tag_num in operations:
+        if is_add:
+            result = result.add(element, f"tag{tag_num}")
+        else:
+            result = result.remove(element)
+    return result
+
+
+@st.composite
+def lww_registers(draw):
+    if draw(st.booleans()):
+        return LWWRegister()
+    return LWWRegister().assign(
+        draw(elements), LamportTimestamp(draw(st.integers(1, 20)), draw(actors))
+    )
+
+
+@st.composite
+def mv_registers(draw):
+    result = MVRegister()
+    for value, actor in draw(st.lists(st.tuples(elements, actors), max_size=4)):
+        result = result.assign(value, actor)
+    return result
+
+
+_rga_namespace = iter(range(10**9))
+
+
+@st.composite
+def rgas(draw):
+    # Element IDs must be globally unique across instances (the RGA
+    # contract), so each generated replica gets a fresh actor namespace.
+    namespace = next(_rga_namespace)
+    result = RGA()
+    counter = 0
+    for value, actor in draw(st.lists(st.tuples(st.text(max_size=4), actors), max_size=5)):
+        counter += 1
+        result = result.append(LamportTimestamp(counter, f"{actor}{namespace}"), value)
+    visible = result.element_ids()
+    for index in draw(st.lists(st.integers(0, 10), max_size=2)):
+        if visible:
+            result = result.delete(visible[index % len(visible)])
+    return result
+
+
+@st.composite
+def ormaps(draw):
+    result = ORMap()
+    for key, amount, tag_num in draw(
+        st.lists(
+            st.tuples(st.sampled_from(["x", "y"]), st.integers(0, 9), st.integers(0, 99)),
+            max_size=4,
+        )
+    ):
+        result = result.update(key, GCounter().increment("a", amount), f"t{tag_num}")
+    if draw(st.booleans()) and result.keys():
+        result = result.remove(result.keys()[0])
+    return result
+
+
+ALL_STRATEGIES = [
+    gcounters(),
+    pncounters(),
+    gsets(),
+    twophase_sets(),
+    orsets(),
+    lww_registers(),
+    mv_registers(),
+    rgas(),
+    ormaps(),
+]
+
+instance_pairs = st.one_of(*[st.tuples(s, s) for s in ALL_STRATEGIES])
+instance_triples = st.one_of(*[st.tuples(s, s, s) for s in ALL_STRATEGIES])
+
+
+def canonical(crdt) -> str:
+    from repro.common.serialization import canonical_json
+
+    return canonical_json({"state": crdt.to_dict(), "value": crdt.value()})
+
+
+@settings(max_examples=150, deadline=None)
+@given(instance_pairs)
+def test_merge_commutative(pair):
+    a, b = pair
+    assert canonical(a.merge(b)) == canonical(b.merge(a))
+
+
+@settings(max_examples=150, deadline=None)
+@given(instance_triples)
+def test_merge_associative(triple):
+    a, b, c = triple
+    assert canonical(a.merge(b).merge(c)) == canonical(a.merge(b.merge(c)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(instance_pairs)
+def test_merge_idempotent(pair):
+    a, b = pair
+    merged = a.merge(b)
+    assert canonical(merged.merge(merged)) == canonical(merged)
+    assert canonical(merged.merge(a)) == canonical(merged)
+    assert canonical(merged.merge(b)) == canonical(merged)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.one_of(st.tuples(gcounters(), gcounters()), st.tuples(pncounters(), pncounters())))
+def test_counter_merge_never_decreases_per_actor_knowledge(pair):
+    a, b = pair
+    merged = a.merge(b)
+    assert canonical(merged.merge(a)) == canonical(merged)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.tuples(gsets(), gsets()))
+def test_gset_merge_is_superset(pair):
+    a, b = pair
+    merged = a.merge(b)
+    for element in list(a) + list(b):
+        assert element in merged
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.tuples(rgas(), rgas()))
+def test_rga_merge_preserves_all_visible_elements_of_both(pair):
+    a, b = pair
+    merged = a.merge(b)
+    # Deletions only ever happen locally before merging here, so an element
+    # visible in either replica and not deleted in the other must survive.
+    visible_ids = set(merged.element_ids())
+    for replica, other in ((a, b), (b, a)):
+        for element_id in replica.element_ids():
+            deleted_in_other = (
+                element_id in [e for e in other.element_ids(include_deleted=True)]
+                and element_id not in other.element_ids()
+            )
+            if not deleted_in_other:
+                assert element_id in visible_ids

@@ -1,0 +1,72 @@
+"""Tests for the OR-Map of nested CRDTs."""
+
+import pytest
+
+from repro.common.errors import MergeTypeError
+from repro.crdt import GCounter, GSet, ORMap
+
+
+class TestBasics:
+    def test_put_get(self):
+        ormap = ORMap().put("hits", GCounter().increment("a", 2), tag="t1")
+        value = ormap.get("hits")
+        assert value is not None and value.value() == 2
+        assert "hits" in ormap
+        assert ormap.keys() == ["hits"]
+
+    def test_missing_key(self):
+        assert ORMap().get("nope") is None
+
+    def test_update_merges_nested(self):
+        ormap = ORMap().put("hits", GCounter().increment("a", 2), tag="t1")
+        ormap = ormap.update("hits", GCounter().increment("b", 3), tag="t2")
+        assert ormap.get("hits").value() == 5
+
+    def test_remove(self):
+        ormap = ORMap().put("k", GCounter().increment("a"), tag="t1").remove("k")
+        assert "k" not in ormap
+        assert len(ormap) == 0
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(ValueError):
+            ORMap().put("k", GCounter(), tag="")
+
+
+class TestObservedRemove:
+    def test_concurrent_put_survives_remove(self):
+        base = ORMap().put("k", GCounter().increment("a"), tag="t1")
+        removed = base.remove("k")
+        concurrent = base.put("k", GCounter().increment("b"), tag="t2")
+        merged = removed.merge(concurrent)
+        assert "k" in merged  # add-wins
+        assert merged == concurrent.merge(removed)
+
+    def test_nested_states_merge_across_replicas(self):
+        base = ORMap().put("votes", GCounter().increment("seed", 1), tag="t0")
+        left = base.update("votes", GCounter().increment("a", 2), tag="ta")
+        right = base.update("votes", GCounter().increment("b", 3), tag="tb")
+        merged = left.merge(right)
+        assert merged.get("votes").value() == 6
+
+    def test_type_conflict_on_same_tag_rejected(self):
+        left = ORMap().put("k", GCounter(), tag="shared")
+        right = ORMap().put("k", GSet(), tag="shared")
+        with pytest.raises(MergeTypeError):
+            left.merge(right)
+
+
+class TestSerialization:
+    def test_roundtrip_nested(self):
+        ormap = (
+            ORMap()
+            .put("count", GCounter().increment("a", 4), tag="t1")
+            .put("tags", GSet(["x", "y"]), tag="t2")
+            .remove("tags")
+        )
+        restored = ORMap.from_bytes(ormap.to_bytes())
+        assert restored == ormap
+        assert restored.value() == {"count": 4}
+
+    def test_value_renders_plain(self):
+        ormap = ORMap().put("c", GCounter().increment("a", 1), tag="t")
+        assert ormap.value() == {"c": 1}

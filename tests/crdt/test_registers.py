@@ -1,0 +1,67 @@
+"""Tests for LWW and multi-value registers."""
+
+from repro.common.clock import LamportTimestamp
+from repro.crdt import LWWRegister, MVRegister
+
+
+def ts(counter, actor="a"):
+    return LamportTimestamp(counter, actor)
+
+
+class TestLWWRegister:
+    def test_highest_timestamp_wins(self):
+        reg = LWWRegister().assign("old", ts(1))
+        merged = reg.merge(LWWRegister().assign("new", ts(2)))
+        assert merged.value() == "new"
+
+    def test_tie_broken_by_actor(self):
+        left = LWWRegister().assign("from-a", ts(1, "a"))
+        right = LWWRegister().assign("from-b", ts(1, "b"))
+        assert left.merge(right).value() == "from-b"
+        assert right.merge(left).value() == "from-b"  # commutative
+
+    def test_empty_register(self):
+        assert LWWRegister().value() is None
+        assert LWWRegister().merge(LWWRegister()).value() is None
+
+    def test_empty_loses_to_any_write(self):
+        written = LWWRegister().assign("x", ts(1))
+        assert LWWRegister().merge(written).value() == "x"
+        assert written.merge(LWWRegister()).value() == "x"
+
+    def test_roundtrip(self):
+        reg = LWWRegister().assign({"doc": 1}, ts(5, "p"))
+        restored = LWWRegister.from_bytes(reg.to_bytes())
+        assert restored == reg
+        assert restored.stamp == ts(5, "p")
+
+
+class TestMVRegister:
+    def test_sequential_assign_overwrites(self):
+        reg = MVRegister().assign("v1", "a").assign("v2", "a")
+        assert reg.value() == ["v2"]
+
+    def test_concurrent_assigns_kept_as_siblings(self):
+        base = MVRegister().assign("base", "a")
+        left = base.assign("left", "b")
+        right = base.assign("right", "c")
+        merged = left.merge(right)
+        assert sorted(merged.value()) == ["left", "right"]
+
+    def test_causal_dominance_resolves_siblings(self):
+        base = MVRegister().assign("base", "a")
+        left = base.assign("left", "b")
+        right = base.assign("right", "c")
+        merged = left.merge(right)
+        resolved = merged.assign("final", "a")
+        assert resolved.value() == ["final"]
+        assert resolved.merge(merged).value() == ["final"]
+
+    def test_merge_idempotent_on_duplicates(self):
+        reg = MVRegister().assign("v", "a")
+        assert reg.merge(reg).value() == ["v"]
+
+    def test_roundtrip(self):
+        base = MVRegister().assign("x", "a")
+        merged = base.assign("l", "b").merge(base.assign("r", "c"))
+        assert MVRegister.from_bytes(merged.to_bytes()) == merged

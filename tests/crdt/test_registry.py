@@ -1,0 +1,85 @@
+"""Tests for the CRDT type registry and envelope serialization."""
+
+import pytest
+
+from repro.common.errors import MergeTypeError
+from repro.crdt import (
+    GCounter,
+    ORSet,
+    StateCRDT,
+    crdt_from_bytes,
+    crdt_from_dict_envelope,
+    crdt_to_bytes,
+    crdt_to_dict_envelope,
+    merge_envelopes,
+    register_crdt,
+    registered_types,
+)
+
+
+class TestEnvelopes:
+    def test_roundtrip_all_builtins(self):
+        for type_name, cls in registered_types().items():
+            instance = cls()
+            restored = crdt_from_bytes(crdt_to_bytes(instance))
+            assert type(restored) is cls, type_name
+
+    def test_envelope_shape(self):
+        envelope = crdt_to_dict_envelope(GCounter().increment("a", 2))
+        assert envelope["crdt"] == "g-counter"
+        assert "state" in envelope
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(MergeTypeError):
+            crdt_from_dict_envelope({"crdt": "no-such-type", "state": {}})
+
+    def test_not_an_envelope_rejected(self):
+        with pytest.raises(MergeTypeError):
+            crdt_from_dict_envelope({"foo": "bar"})
+
+
+class TestMergeEnvelopes:
+    def test_merges_same_type(self):
+        left = crdt_to_bytes(GCounter().increment("a", 1))
+        right = crdt_to_bytes(GCounter().increment("b", 2))
+        merged = crdt_from_bytes(merge_envelopes(left, right))
+        assert merged.value() == 3
+
+    def test_mismatched_types_rejected(self):
+        left = crdt_to_bytes(GCounter())
+        right = crdt_to_bytes(ORSet())
+        with pytest.raises(MergeTypeError):
+            merge_envelopes(left, right)
+
+
+class TestRegistration:
+    def test_register_custom_type(self):
+        class Custom(StateCRDT):
+            type_name = "test-custom-type"
+
+            def __init__(self, n=0):
+                self.n = n
+
+            def merge(self, other):
+                return Custom(max(self.n, other.n))
+
+            def value(self):
+                return self.n
+
+            def to_dict(self):
+                return {"n": self.n}
+
+            @classmethod
+            def from_dict(cls, payload):
+                return cls(payload["n"])
+
+        register_crdt(Custom)
+        assert registered_types()["test-custom-type"] is Custom
+        register_crdt(Custom)  # idempotent
+
+    def test_conflicting_registration_rejected(self):
+        class Impostor(StateCRDT):
+            type_name = "g-counter"
+
+        with pytest.raises(MergeTypeError):
+            register_crdt(Impostor)

@@ -1,0 +1,92 @@
+"""Tests for G-Set, 2P-Set, and OR-Set semantics."""
+
+from repro.crdt import GSet, ORSet, TwoPhaseSet
+
+
+class TestGSet:
+    def test_add_and_contains(self):
+        gset = GSet().add("a").add({"k": 1})
+        assert "a" in gset
+        assert {"k": 1} in gset
+        assert "b" not in gset
+        assert len(gset) == 2
+
+    def test_duplicate_add_idempotent(self):
+        gset = GSet().add("a").add("a")
+        assert len(gset) == 1
+
+    def test_merge_is_union(self):
+        left = GSet(["a", "b"])
+        right = GSet(["b", "c"])
+        merged = left.merge(right)
+        assert sorted(merged.value()) == ["a", "b", "c"]
+
+    def test_unhashable_elements_supported(self):
+        gset = GSet().add([1, 2]).add({"nested": [3]})
+        assert [1, 2] in gset
+
+    def test_roundtrip(self):
+        gset = GSet(["x", {"y": 1}])
+        assert GSet.from_bytes(gset.to_bytes()) == gset
+
+
+class TestTwoPhaseSet:
+    def test_add_remove(self):
+        tps = TwoPhaseSet().add("a").remove("a")
+        assert "a" not in tps
+        assert len(tps) == 0
+
+    def test_no_re_add(self):
+        tps = TwoPhaseSet().add("a").remove("a").add("a")
+        assert "a" not in tps  # tombstone wins forever
+
+    def test_remove_before_add_blocks(self):
+        tps = TwoPhaseSet().remove("a").add("a")
+        assert "a" not in tps
+
+    def test_merge(self):
+        left = TwoPhaseSet().add("a").add("b")
+        right = TwoPhaseSet().add("b").remove("b")
+        merged = left.merge(right)
+        assert "a" in merged and "b" not in merged
+
+    def test_roundtrip(self):
+        tps = TwoPhaseSet().add("a").add("b").remove("a")
+        assert TwoPhaseSet.from_bytes(tps.to_bytes()) == tps
+
+
+class TestORSet:
+    def test_add_remove_readd(self):
+        orset = ORSet().add("a", "t1").remove("a")
+        assert "a" not in orset
+        orset = orset.add("a", "t2")
+        assert "a" in orset  # unlike 2P-Set, re-add works
+
+    def test_add_wins_over_concurrent_remove(self):
+        base = ORSet().add("x", "t1")
+        removed = base.remove("x")  # observed only t1
+        readded = base.add("x", "t2")  # concurrent add with a fresh tag
+        merged = removed.merge(readded)
+        assert "x" in merged  # t2 survives: add-wins
+        assert merged == readded.merge(removed)
+
+    def test_remove_only_observed_tags(self):
+        base = ORSet().add("x", "t1")
+        other = ORSet().add("x", "t2")
+        removed = base.remove("x")
+        merged = removed.merge(other)
+        assert "x" in merged
+
+    def test_empty_tag_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ORSet().add("x", "")
+
+    def test_value_deterministic_order(self):
+        orset = ORSet().add("b", "1").add("a", "2")
+        assert orset.value() == ["a", "b"]
+
+    def test_roundtrip(self):
+        orset = ORSet().add("a", "t1").add({"j": 1}, "t2").remove("a")
+        assert ORSet.from_bytes(orset.to_bytes()) == orset

@@ -1,0 +1,87 @@
+"""Tests for the service-time cost model."""
+
+import pytest
+
+from repro.fabric.costmodel import CostModel, zero_latency_model
+from repro.fabric.peer import CommitWork
+
+
+class TestEndorseTime:
+    def test_composition(self):
+        model = CostModel(endorse_base_s=0.1, endorse_per_read_s=0.01, endorse_per_write_s=0.002)
+        assert model.endorse_time(3, 2) == pytest.approx(0.1 + 0.03 + 0.004)
+
+    def test_capacity(self):
+        model = CostModel(
+            endorse_base_s=0.1,
+            endorse_per_read_s=0.0,
+            endorse_per_write_s=0.0,
+            endorsement_pool_size=5,
+        )
+        assert model.endorsement_capacity_tps(1, 1) == pytest.approx(50.0)
+
+
+class TestCommitTime:
+    def test_all_terms_counted(self):
+        model = CostModel(
+            commit_base_s=1.0,
+            vscc_per_tx_s=0.1,
+            mvcc_per_read_s=0.01,
+            write_per_key_s=0.001,
+            write_per_kib_s=0.5,
+            merge_per_op_s=0.0001,
+            merge_per_scan_step_s=0.00001,
+        )
+        work = CommitWork(
+            tx_count=10,
+            vscc_checks=10,
+            mvcc_reads=20,
+            range_requeries=2,
+            writes_applied=10,
+            distinct_keys_written=3,
+            bytes_written=2048,
+            merge_ops=100,
+            merge_scan_steps=1000,
+        )
+        expected = (
+            1.0
+            + 0.1 * 10
+            + 0.01 * 20
+            + 0.01 * 2
+            + 0.001 * 3
+            + 0.5 * 2.0
+            + 0.0001 * 100
+            + 0.00001 * 1000
+        )
+        assert model.commit_time(work) == pytest.approx(expected)
+
+    def test_empty_block_costs_base(self):
+        model = CostModel()
+        assert model.commit_time(CommitWork()) == pytest.approx(model.commit_base_s)
+
+    def test_with_merge_constants(self):
+        model = CostModel().with_merge_constants(0.5, 0.25)
+        assert model.merge_per_op_s == 0.5
+        assert model.merge_per_scan_step_s == 0.25
+        # Everything else preserved.
+        assert model.endorse_base_s == CostModel().endorse_base_s
+
+
+class TestZeroLatencyModel:
+    def test_everything_is_free(self):
+        model = zero_latency_model()
+        assert model.endorse_time(5, 5) == 0.0
+        work = CommitWork(
+            tx_count=100, vscc_checks=100, mvcc_reads=100,
+            writes_applied=100, distinct_keys_written=100,
+            bytes_written=10**6, merge_ops=10**4, merge_scan_steps=10**5,
+        )
+        assert model.commit_time(work) == 0.0
+
+    def test_network_latencies_zero(self):
+        import random
+
+        model = zero_latency_model()
+        rng = random.Random(0)
+        assert model.client_to_peer.sample(rng) == 0.0
+        assert model.orderer_to_peer.sample(rng) == 0.0

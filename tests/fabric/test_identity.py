@@ -1,0 +1,72 @@
+"""Tests for organizations, identities, and the membership registry."""
+
+import pytest
+
+from repro.common.errors import FabricError
+from repro.common.hashing import sha256
+from repro.fabric.identity import MembershipRegistry, Organization
+
+
+class TestEnrollment:
+    def test_enroll_creates_identity(self):
+        registry = MembershipRegistry()
+        identity = registry.enroll("Org1", "peer0")
+        assert identity.qualified_name == "Org1.peer0"
+        assert identity.org == Organization("Org1")
+        assert identity.org.msp_id == "Org1MSP"
+
+    def test_enroll_idempotent(self):
+        registry = MembershipRegistry()
+        first = registry.enroll("Org1", "peer0")
+        second = registry.enroll("Org1", "peer0")
+        assert first is second
+
+    def test_unknown_lookups_raise(self):
+        registry = MembershipRegistry()
+        with pytest.raises(FabricError):
+            registry.org("Nope")
+        with pytest.raises(FabricError):
+            registry.identity("Nope.peer9")
+
+    def test_orgs_sorted(self):
+        registry = MembershipRegistry()
+        registry.add_org("OrgB")
+        registry.add_org("OrgA")
+        assert [org.name for org in registry.orgs()] == ["OrgA", "OrgB"]
+
+
+class TestSigning:
+    def test_sign_verify_roundtrip(self):
+        registry = MembershipRegistry()
+        registry.enroll("Org1", "peer0")
+        payload_hash = sha256(b"payload")
+        signed = registry.sign_as("Org1.peer0", payload_hash)
+        assert registry.verify(signed, payload_hash)
+
+    def test_wrong_payload_rejected(self):
+        registry = MembershipRegistry()
+        registry.enroll("Org1", "peer0")
+        signed = registry.sign_as("Org1.peer0", sha256(b"payload"))
+        assert not registry.verify(signed, sha256(b"other"))
+
+    def test_unknown_signer_rejected(self):
+        registry = MembershipRegistry()
+        registry.enroll("Org1", "peer0")
+        signed = registry.sign_as("Org1.peer0", sha256(b"p"))
+        forged = type(signed)(signed.payload_hash, "Org9.ghost", signed.signature)
+        assert not registry.verify(forged, sha256(b"p"))
+
+    def test_cross_identity_signature_rejected(self):
+        registry = MembershipRegistry()
+        registry.enroll("Org1", "peer0")
+        registry.enroll("Org2", "peer0")
+        payload_hash = sha256(b"p")
+        signed = registry.sign_as("Org1.peer0", payload_hash)
+        forged = type(signed)(payload_hash, "Org2.peer0", signed.signature)
+        assert not registry.verify(forged, payload_hash)
+
+    def test_distinct_identities_distinct_secrets(self):
+        registry = MembershipRegistry()
+        a = registry.enroll("Org1", "peer0")
+        b = registry.enroll("Org1", "peer1")
+        assert a.sign(b"x") != b.sign(b"x")

@@ -1,0 +1,135 @@
+"""Tests for the Fabric++-style reordering orderer (the related-work baseline)."""
+
+from repro.common.config import OrdererConfig
+from repro.common.types import ReadItem, ReadWriteSet, ValidationCode, WriteItem
+from repro.common.serialization import to_bytes
+from repro.fabric.block import Block
+from repro.fabric.reorder import ReorderingOrderingService, reorder_batch
+
+from .helpers import build_peer, endorsed_tx, seed_block, write_rwset
+
+
+def reader_writer_txs(peer, versions):
+    """A blind writer of K plus a reader of K (writing elsewhere).
+
+    In arrival order [writer, reader] the reader fails; readers-first
+    reordering saves it.
+    """
+
+    writer = endorsed_tx(peer, write_rwset(("K", {"v": 1})), 1)
+    reader = endorsed_tx(
+        peer, write_rwset(("out", {"seen": 1}), reads=(("K", versions["K"]),)), 2
+    )
+    return writer, reader
+
+
+class TestReorderBatch:
+    def test_readers_scheduled_before_writers(self):
+        peer = build_peer()
+        versions = seed_block(peer, {"K": {"v": 0}})
+        writer, reader = reader_writer_txs(peer, versions)
+        scheduled, victims = reorder_batch([writer, reader])
+        assert victims == []
+        assert [tx.tx_id for tx in scheduled] == [reader.tx_id, writer.tx_id]
+
+    def test_hot_key_cycle_keeps_one(self):
+        peer = build_peer()
+        versions = seed_block(peer, {"K": {"v": 0}})
+        txs = [
+            endorsed_tx(
+                peer, write_rwset(("K", {"v": i}), reads=(("K", versions["K"]),)), i
+            )
+            for i in range(4)
+        ]
+        scheduled, victims = reorder_batch(txs)
+        assert len(scheduled) == 1
+        assert len(victims) == 3
+
+    def test_two_tx_swap_cycle(self):
+        peer = build_peer()
+        versions = seed_block(peer, {"A": {"v": 0}, "B": {"v": 0}})
+        # t1 reads A writes B; t2 reads B writes A: a genuine cycle.
+        t1 = endorsed_tx(peer, write_rwset(("B", {"v": 1}), reads=(("A", versions["A"]),)), 1)
+        t2 = endorsed_tx(peer, write_rwset(("A", {"v": 1}), reads=(("B", versions["B"]),)), 2)
+        scheduled, victims = reorder_batch([t1, t2])
+        assert len(scheduled) == 1 and len(victims) == 1
+
+    def test_independent_txs_untouched(self):
+        peer = build_peer()
+        txs = [endorsed_tx(peer, write_rwset((f"k{i}", {"v": i})), i) for i in range(5)]
+        scheduled, victims = reorder_batch(txs)
+        assert victims == []
+        assert len(scheduled) == 5
+
+    def test_crdt_writes_do_not_create_conflicts(self):
+        peer = build_peer()
+        versions = seed_block(peer, {"K": {"v": 0}})
+        crdt_writer = endorsed_tx(peer, write_rwset(("K", {"l": ["x"]}), crdt=True), 1)
+        reader = endorsed_tx(
+            peer, write_rwset(("out", {"s": 1}), reads=(("K", versions["K"]),)), 2
+        )
+        scheduled, victims = reorder_batch([crdt_writer, reader])
+        assert victims == []
+
+
+class TestReorderingOrderingService:
+    def _commit_through(self, peer, txs, early_abort=False):
+        service = ReorderingOrderingService(
+            OrdererConfig(max_message_count=len(txs)), early_abort=early_abort
+        )
+        service.resume_from(peer.ledger.height, peer.ledger.last_hash)
+        blocks = []
+        for tx in txs:
+            blocks.extend(service.submit(tx, 0.0))
+        remainder = service.flush(0.0)
+        if remainder is not None:
+            blocks.append(remainder)
+        return [peer.validate_and_commit(block) for block in blocks], service
+
+    def test_reordering_saves_the_reader(self):
+        peer = build_peer()
+        versions = seed_block(peer, {"K": {"v": 0}})
+        writer, reader = reader_writer_txs(peer, versions)
+        committed_blocks, _ = self._commit_through(peer, [writer, reader])
+        statuses = dict(committed_blocks[0].statuses())
+        assert statuses[reader.tx_id] is ValidationCode.VALID
+        assert statuses[writer.tx_id] is ValidationCode.VALID
+
+    def test_without_reordering_reader_fails(self):
+        peer = build_peer()
+        versions = seed_block(peer, {"K": {"v": 0}})
+        writer, reader = reader_writer_txs(peer, versions)
+        block = Block.build(peer.ledger.height, peer.ledger.last_hash, (writer, reader))
+        committed = peer.validate_and_commit(block)
+        statuses = dict(committed.statuses())
+        assert statuses[reader.tx_id] is ValidationCode.MVCC_READ_CONFLICT
+
+    def test_hot_key_rmw_not_rescued(self):
+        """The paper's point versus [34]: reordering cannot eliminate
+        conflicts among same-key read-modify-writes."""
+
+        peer = build_peer()
+        versions = seed_block(peer, {"K": {"v": 0}})
+        txs = [
+            endorsed_tx(
+                peer, write_rwset(("K", {"v": i}), reads=(("K", versions["K"]),)), i
+            )
+            for i in range(5)
+        ]
+        committed_blocks, service = self._commit_through(peer, txs)
+        valid = sum(block.metadata.valid_count for block in committed_blocks)
+        assert valid == 1
+        assert service.reorder_stats["victims"] == 4
+
+    def test_early_abort_drops_victims_from_block(self):
+        peer = build_peer()
+        versions = seed_block(peer, {"K": {"v": 0}})
+        txs = [
+            endorsed_tx(
+                peer, write_rwset(("K", {"v": i}), reads=(("K", versions["K"]),)), i
+            )
+            for i in range(5)
+        ]
+        committed_blocks, service = self._commit_through(peer, txs, early_abort=True)
+        assert sum(len(block.block) for block in committed_blocks) == 1
+        assert service.reorder_stats["early_aborted"] == 4

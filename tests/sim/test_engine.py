@@ -1,0 +1,122 @@
+"""Tests for the simulation engine's run loop."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import Environment
+
+
+def test_time_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_run_until_time_advances_clock():
+    env = Environment()
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_timeouts_fire_in_order():
+    env = Environment()
+    fired = []
+    for delay in (3.0, 1.0, 2.0):
+        event = env.timeout(delay, value=delay)
+        event.callbacks.append(lambda e: fired.append((env.now, e.value)))
+    env.run()
+    assert fired == [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+
+
+def test_simultaneous_events_fifo():
+    env = Environment()
+    fired = []
+    for tag in ("first", "second", "third"):
+        event = env.timeout(1.0, value=tag)
+        event.callbacks.append(lambda e: fired.append(e.value))
+    env.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(2.0)
+        return "done"
+
+    process = env.process(proc())
+    assert env.run(until=process) == "done"
+    assert env.now == 2.0
+
+
+def test_run_until_event_propagates_failure():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        raise RuntimeError("boom")
+
+    process = env.process(proc())
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run(until=process)
+
+
+def test_run_out_of_events_before_until_event_raises():
+    env = Environment()
+    never = env.event()
+    env.timeout(1.0)
+    with pytest.raises(SimulationError):
+        env.run(until=never)
+
+
+def test_unhandled_process_failure_crashes_run():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+        raise ValueError("unhandled")
+
+    env.process(proc())
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_step_on_empty_schedule_raises():
+    with pytest.raises(SimulationError):
+        Environment().step()
+
+
+def test_negative_schedule_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.schedule(env.event(), delay=-1.0)
+
+
+def test_events_processed_counter():
+    env = Environment()
+    env.timeout(1.0)
+    env.timeout(2.0)
+    env.run()
+    assert env.events_processed == 2
+
+
+def test_determinism_same_program_same_trace():
+    def run_once():
+        env = Environment()
+        trace = []
+
+        def worker(name, delay):
+            yield env.timeout(delay)
+            trace.append((env.now, name))
+
+        for i in range(10):
+            env.process(worker(f"w{i}", (i * 7) % 5 + 0.5))
+        env.run()
+        return trace
+
+    assert run_once() == run_once()

@@ -1,0 +1,121 @@
+"""Tests for event primitives and condition events."""
+
+import pytest
+
+from repro.common.errors import EventAlreadyTriggered
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_succeed_delivers_value():
+    env = Environment()
+    event = env.event()
+    seen = []
+    event.callbacks.append(lambda e: seen.append(e.value))
+    event.succeed("payload")
+    env.run()
+    assert seen == ["payload"]
+    assert event.processed and event.ok
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed()
+    with pytest.raises(EventAlreadyTriggered):
+        event.succeed()
+    with pytest.raises(EventAlreadyTriggered):
+        event.fail(RuntimeError())
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_value_unavailable_before_trigger():
+    env = Environment()
+    with pytest.raises(AttributeError):
+        _ = env.event().value
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-0.5)
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, "a")
+        t2 = env.timeout(3.0, "b")
+        values = yield AllOf(env, [t1, t2])
+        return (env.now, sorted(values.values()))
+
+    process = env.process(proc())
+    assert env.run(until=process) == (3.0, ["a", "b"])
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc():
+        t1 = env.timeout(1.0, "fast")
+        t2 = env.timeout(5.0, "slow")
+        values = yield AnyOf(env, [t1, t2])
+        return (env.now, list(values.values()))
+
+    process = env.process(proc())
+    assert env.run(until=process) == (1.0, ["fast"])
+
+
+def test_empty_all_of_fires_immediately():
+    env = Environment()
+
+    def proc():
+        yield AllOf(env, [])
+        return env.now
+
+    process = env.process(proc())
+    assert env.run(until=process) == 0.0
+
+
+def test_condition_fails_fast():
+    env = Environment()
+
+    def failer():
+        yield env.timeout(1.0)
+        raise RuntimeError("child failed")
+
+    def waiter():
+        child = env.process(failer())
+        slow = env.timeout(10.0)
+        try:
+            yield AllOf(env, [child, slow])
+        except RuntimeError:
+            return env.now
+        return None
+
+    process = env.process(waiter())
+    assert env.run(until=process) == 1.0
+
+
+def test_operator_sugar():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0) & env.timeout(2.0)
+        first = env.now
+        yield env.timeout(1.0) | env.timeout(9.0)
+        return (first, env.now)
+
+    process = env.process(proc())
+    assert env.run(until=process) == (2.0, 3.0)
+
+
+def test_mixed_environments_rejected():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(ValueError):
+        AllOf(env1, [env1.event(), env2.event()])

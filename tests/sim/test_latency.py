@@ -1,0 +1,89 @@
+"""Tests for latency distributions."""
+
+import random
+
+import pytest
+
+from repro.sim import Empirical, Exponential, Fixed, LogNormal, Shifted, Uniform
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+class TestFixed:
+    def test_constant(self, rng):
+        model = Fixed(0.25)
+        assert model.sample(rng) == 0.25
+        assert model.mean() == 0.25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Fixed(-1.0)
+
+
+class TestUniform:
+    def test_bounds(self, rng):
+        model = Uniform(0.1, 0.2)
+        samples = [model.sample(rng) for _ in range(200)]
+        assert all(0.1 <= s <= 0.2 for s in samples)
+        assert model.mean() == pytest.approx(0.15)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Uniform(0.5, 0.1)
+
+
+class TestExponential:
+    def test_mean_statistically(self, rng):
+        model = Exponential(0.5)
+        samples = [model.sample(rng) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.5, rel=0.05)
+
+    def test_positive_mean_required(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestLogNormal:
+    def test_mean_statistically(self, rng):
+        model = LogNormal(0.1, sigma=0.5)
+        samples = [model.sample(rng) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(0.1, rel=0.05)
+
+    def test_all_positive(self, rng):
+        model = LogNormal(0.01, sigma=1.0)
+        assert all(model.sample(rng) > 0 for _ in range(100))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0)
+        with pytest.raises(ValueError):
+            LogNormal(1.0, sigma=0.0)
+
+
+class TestEmpirical:
+    def test_resamples_observations(self, rng):
+        model = Empirical([0.1, 0.2, 0.3])
+        assert all(model.sample(rng) in (0.1, 0.2, 0.3) for _ in range(50))
+        assert model.mean() == pytest.approx(0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Empirical([0.1, -0.1])
+
+
+class TestShifted:
+    def test_offset_added(self, rng):
+        model = Shifted(Fixed(0.1), offset=0.05)
+        assert model.sample(rng) == pytest.approx(0.15)
+        assert model.mean() == pytest.approx(0.15)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            Shifted(Fixed(0.1), offset=-0.01)

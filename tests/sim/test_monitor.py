@@ -1,0 +1,73 @@
+"""Tests for measurement helpers."""
+
+import pytest
+
+from repro.sim import GaugeSeries, TimeSeries, summarize
+
+
+class TestTimeSeries:
+    def test_basic_stats(self):
+        series = TimeSeries("lat")
+        for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]:
+            series.record(t, v)
+        assert len(series) == 3
+        assert series.total == 6.0
+        assert series.mean == pytest.approx(2.0)
+        assert series.maximum == 3.0
+        assert series.minimum == 1.0
+
+    def test_out_of_order_rejected(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_percentile(self):
+        series = TimeSeries()
+        for i in range(100):
+            series.record(float(i), float(i + 1))
+        assert series.percentile(50) == 50.0
+        assert series.percentile(95) == 95.0
+        assert series.percentile(100) == 100.0
+
+    def test_rate_between(self):
+        series = TimeSeries()
+        for i in range(10):
+            series.record(i * 0.5, 1.0)  # 2 events per second
+        assert series.rate_between(0.0, 4.5) == pytest.approx(2.0)
+
+    def test_window_counts(self):
+        series = TimeSeries()
+        for t in (0.1, 0.2, 1.5, 2.9):
+            series.record(t, 1.0)
+        assert series.window_counts(1.0) == [(0.0, 2), (1.0, 1), (2.0, 1)]
+
+    def test_empty_stats_are_none(self):
+        series = TimeSeries()
+        assert series.mean is None
+        assert series.percentile(50) is None
+        assert series.std() is None
+
+
+class TestGaugeSeries:
+    def test_time_average(self):
+        gauge = GaugeSeries()
+        gauge.record(0.0, 0.0)
+        gauge.record(2.0, 10.0)  # level 0 for 2s, then 10 for 2s
+        assert gauge.time_average(until=4.0) == pytest.approx(5.0)
+
+    def test_empty_is_none(self):
+        assert GaugeSeries().time_average() is None
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([3.0, 1.0, 2.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["p50"] == 2.0
+
+    def test_empty(self):
+        assert summarize([]) == {"count": 0}

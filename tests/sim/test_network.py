@@ -1,0 +1,82 @@
+"""Tests for simulated links, broadcast, and partitions."""
+
+import random
+
+from repro.sim import Broadcast, Environment, Fixed, Link, PartitionController, Store, Uniform
+
+
+def test_link_delivers_after_latency():
+    env = Environment()
+    box = Store(env)
+    link = Link(env, box, latency=Fixed(2.5))
+    link.send("hello")
+    received = []
+
+    def consumer():
+        item = yield box.get()
+        received.append((env.now, item))
+
+    env.process(consumer())
+    env.run()
+    assert received == [(2.5, "hello")]
+    assert link.stats.sent == 1 and link.stats.delivered == 1
+
+
+def test_random_latency_can_reorder_messages():
+    env = Environment()
+    box = Store(env)
+    link = Link(env, box, latency=Uniform(0.0, 1.0), rng=random.Random(3))
+    for i in range(20):
+        link.send(i)
+    order = []
+
+    def consumer():
+        for _ in range(20):
+            order.append((yield box.get()))
+
+    env.process(consumer())
+    env.run()
+    assert sorted(order) == list(range(20))
+    assert order != list(range(20))  # the asynchrony the paper assumes (§4.1)
+
+
+def test_loss_probability_drops_messages():
+    env = Environment()
+    box = Store(env)
+    link = Link(env, box, rng=random.Random(0), loss_probability=0.5)
+    for _ in range(200):
+        link.send("m")
+    env.run()
+    assert link.stats.dropped > 50
+    assert link.stats.delivered == 200 - link.stats.dropped
+    assert len(box) == link.stats.delivered
+
+
+def test_broadcast_fans_out():
+    env = Environment()
+    boxes = [Store(env) for _ in range(3)]
+    broadcast = Broadcast()
+    for box in boxes:
+        broadcast.attach(Link(env, box))
+    broadcast.send("blk")
+    env.run()
+    assert all(len(box) == 1 for box in boxes)
+
+
+def test_partition_cut_and_heal():
+    env = Environment()
+    box = Store(env)
+    link = Link(env, box, rng=random.Random(0))
+    controller = PartitionController(links=[link])
+
+    controller.cut()
+    for _ in range(50):
+        link.send("lost")
+    env.run()
+    assert len(box) == 0
+
+    controller.heal()
+    link.send("delivered")
+    env.run()
+    assert len(box) == 1
+    assert link.loss_probability == 0.0

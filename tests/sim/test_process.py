@@ -1,0 +1,145 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+
+
+def test_process_is_event_fires_on_return():
+    env = Environment()
+
+    def child():
+        yield env.timeout(2.0)
+        return 42
+
+    def parent():
+        result = yield env.process(child())
+        return (env.now, result)
+
+    process = env.process(parent())
+    assert env.run(until=process) == (2.0, 42)
+
+
+def test_process_receives_event_values():
+    env = Environment()
+
+    def proc():
+        value = yield env.timeout(1.0, value="hello")
+        return value
+
+    assert env.run(until=env.process(proc())) == "hello"
+
+
+def test_child_exception_propagates_to_waiter():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        raise KeyError("oops")
+
+    def parent():
+        try:
+            yield env.process(child())
+        except KeyError:
+            return "caught"
+        return "missed"
+
+    assert env.run(until=env.process(parent())) == "caught"
+
+
+def test_yielding_non_event_raises_inside_process():
+    env = Environment()
+
+    def proc():
+        try:
+            yield "not an event"
+        except TypeError:
+            return "typed"
+
+    assert env.run(until=env.process(proc())) == "typed"
+
+
+def test_non_generator_rejected():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    outcome = {}
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            outcome["cause"] = interrupt.cause
+            outcome["time"] = env.now
+
+    def killer(victim):
+        yield env.timeout(4.0)
+        victim.interrupt("reason")
+
+    victim = env.process(sleeper())
+    env.process(killer(victim))
+    env.run()
+    assert outcome == {"cause": "reason", "time": 4.0}
+
+
+def test_interrupt_finished_process_is_noop():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+        return "done"
+
+    process = env.process(quick())
+    env.run()
+    process.interrupt("too late")  # must not raise
+    env.run()
+    assert process.value == "done"
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+
+    def stubborn():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        return env.now
+
+    process = env.process(stubborn())
+
+    def killer():
+        yield env.timeout(2.0)
+        process.interrupt()
+
+    env.process(killer())
+    assert env.run(until=process) == 3.0
+
+
+def test_already_processed_event_resumes_immediately():
+    env = Environment()
+    stale = env.timeout(1.0, value="old")
+
+    def late_waiter():
+        yield env.timeout(5.0)
+        value = yield stale  # already processed; resume without waiting
+        return (env.now, value)
+
+    assert env.run(until=env.process(late_waiter())) == (5.0, "old")
+
+
+def test_is_alive():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(1.0)
+
+    process = env.process(proc())
+    assert process.is_alive
+    env.run()
+    assert not process.is_alive

@@ -1,0 +1,202 @@
+"""Tests for stores and capacity resources."""
+
+import pytest
+
+from repro.sim import Environment, FilterStore, PriorityStore, Resource, Store
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer():
+            for item in ("a", "b", "c"):
+                yield store.put(item)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        times = []
+
+        def consumer():
+            item = yield store.get()
+            times.append((env.now, item))
+
+        def producer():
+            yield env.timeout(5.0)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [(5.0, "late")]
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        progress = []
+
+        def producer():
+            yield store.put("first")
+            progress.append(("first stored", env.now))
+            yield store.put("second")
+            progress.append(("second stored", env.now))
+
+        def consumer():
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert progress == [("first stored", 0.0), ("second stored", 3.0)]
+
+    def test_try_get(self):
+        env = Environment()
+        store = Store(env)
+        assert store.try_get() is None
+        store.put("x")
+        env.run()
+        assert store.try_get() == "x"
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Store(Environment(), capacity=0)
+
+    def test_len_and_items(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert len(store) == 2
+        assert store.items == (1, 2)
+
+
+class TestPriorityStore:
+    def test_smallest_first(self):
+        env = Environment()
+        store = PriorityStore(env)
+        received = []
+
+        def producer():
+            for item in (5, 1, 3):
+                yield store.put(item)
+
+        def consumer():
+            yield env.timeout(1.0)
+            for _ in range(3):
+                received.append((yield store.get()))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == [1, 3, 5]
+
+
+class TestFilterStore:
+    def test_predicate_get(self):
+        env = Environment()
+        store = FilterStore(env)
+        received = []
+
+        def producer():
+            yield store.put("apple")
+            yield store.put("banana")
+
+        def consumer():
+            item = yield store.get(lambda x: x.startswith("b"))
+            received.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == ["banana"]
+        assert store.items == ("apple",)
+
+
+class TestResource:
+    def test_serializes_users(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def worker(name, duration):
+            request = resource.request()
+            yield request
+            log.append((env.now, name, "start"))
+            yield env.timeout(duration)
+            resource.release(request)
+
+        env.process(worker("a", 2.0))
+        env.process(worker("b", 1.0))
+        env.run()
+        assert log == [(0.0, "a", "start"), (2.0, "b", "start")]
+
+    def test_capacity_two_runs_concurrently(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        starts = []
+
+        def worker(name):
+            request = resource.request()
+            yield request
+            starts.append((env.now, name))
+            yield env.timeout(1.0)
+            resource.release(request)
+
+        for name in ("a", "b", "c"):
+            env.process(worker(name))
+        env.run()
+        assert starts == [(0.0, "a"), (0.0, "b"), (1.0, "c")]
+
+    def test_context_manager_releases(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def worker(name):
+            with (yield resource.request()):
+                order.append((env.now, name))
+                yield env.timeout(1.0)
+
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert order == [(0.0, "a"), (1.0, "b")]
+        assert resource.in_use == 0
+
+    def test_queue_length(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def holder():
+            request = resource.request()
+            yield request
+            yield env.timeout(10.0)
+            resource.release(request)
+
+        def waiter():
+            yield resource.request()
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=1.0)
+        assert resource.in_use == 1
+        assert resource.queue_length == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)

@@ -1,0 +1,111 @@
+"""Small end-to-end runs through the Caliper-equivalent driver.
+
+These are the integration tests for the full measured pipeline: DES network,
+workload generation, pre-population, open-loop clients, metric collection.
+Scales are tiny; the full-scale runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.common.config import (
+    CRDTConfig,
+    NetworkConfig,
+    OrdererConfig,
+    TopologyConfig,
+)
+from repro.fabric.costmodel import CostModel
+from repro.workload.caliper import run_workload
+from repro.workload.spec import WorkloadSpec
+
+
+def light_config(block_size, crdt_enabled, seed=0):
+    return NetworkConfig(
+        topology=TopologyConfig(num_orgs=1, peers_per_org=1),
+        orderer=OrdererConfig(max_message_count=block_size),
+        crdt=CRDTConfig(),
+        crdt_enabled=crdt_enabled,
+        seed=seed,
+    )
+
+
+SPEC = WorkloadSpec(total_transactions=200, rate_tps=300.0)
+
+
+class TestCRDTRun:
+    def test_all_transactions_succeed(self):
+        result = run_workload(SPEC, light_config(25, True))
+        assert result.total_submitted == 200
+        assert result.successful == 200
+        assert result.failed == 0
+        assert result.merge_ops > 0
+
+    def test_throughput_and_latency_positive(self):
+        result = run_workload(SPEC, light_config(25, True))
+        assert result.throughput_tps > 0
+        assert result.avg_latency_s > 0
+        assert result.duration_s >= 200 / 300.0 * 0.9
+
+
+class TestFabricRun:
+    def test_conflicting_workload_mostly_fails(self):
+        result = run_workload(SPEC.with_crdt(False), light_config(50, False))
+        assert result.total_submitted == 200
+        assert 1 <= result.successful < 50
+        assert result.failure_codes.get("MVCC_READ_CONFLICT", 0) > 100
+
+    def test_non_conflicting_workload_all_succeeds(self):
+        spec = WorkloadSpec(total_transactions=150, rate_tps=300.0, conflict_pct=0.0,
+                            use_crdt=False)
+        result = run_workload(spec, light_config(50, False))
+        assert result.successful == 150
+
+
+class TestDeterminism:
+    def test_same_seed_same_metrics(self):
+        first = run_workload(SPEC, light_config(25, True, seed=3))
+        second = run_workload(SPEC, light_config(25, True, seed=3))
+        assert first.throughput_tps == pytest.approx(second.throughput_tps)
+        assert first.avg_latency_s == pytest.approx(second.avg_latency_s)
+        assert first.successful == second.successful
+        assert first.blocks_committed == second.blocks_committed
+
+
+class TestTopologies:
+    def test_full_paper_topology_converges(self):
+        spec = WorkloadSpec(total_transactions=60, rate_tps=300.0)
+        config = NetworkConfig(
+            topology=TopologyConfig(num_orgs=3, peers_per_org=2),
+            orderer=OrdererConfig(max_message_count=25),
+            crdt_enabled=True,
+        )
+        from repro.sim import Environment
+        from repro.workload.caliper import build_network
+        from repro.workload.generator import generate_plan, keys_to_populate
+        from repro.workload.iot import IoTChaincode
+        from repro.workload.metrics import MetricsCollector
+        from repro.workload.caliper import populate_ledger, _client_process
+
+        env = Environment()
+        network = build_network(env, config)
+        network.deploy(IoTChaincode())
+        plan = generate_plan(spec)
+        populate_ledger(network, keys_to_populate(spec, plan))
+        collector = MetricsCollector(env, expected=len(plan))
+        network.anchor_peer.events.subscribe(collector.on_block)
+        per_client = {}
+        for tx in plan:
+            per_client.setdefault(tx.client, []).append(tx)
+        for client_index, transactions in sorted(per_client.items()):
+            env.process(
+                _client_process(env, network, client_index, transactions, collector)
+            )
+        env.run(until=collector.done)
+        # All six peers converge to identical world states.
+        reference = network.peers()[0].ledger.state.snapshot_versions()
+        for peer in network.peers()[1:]:
+            # Peers may still be committing the last block when the anchor
+            # finished; drain remaining events first.
+            pass
+        env.run()
+        for peer in network.peers()[1:]:
+            assert peer.ledger.state.snapshot_versions() == reference

@@ -1,0 +1,96 @@
+"""Tests for deterministic workload generation."""
+
+import json
+
+from repro.workload.generator import (
+    expected_conflicting,
+    generate_plan,
+    keys_to_populate,
+)
+from repro.workload.spec import WorkloadSpec
+
+
+class TestDeterminism:
+    def test_same_seed_same_plan(self):
+        spec = WorkloadSpec(total_transactions=50, conflict_pct=40.0, seed=3)
+        assert generate_plan(spec) == generate_plan(spec)
+
+    def test_different_seed_different_payloads(self):
+        a = generate_plan(WorkloadSpec(total_transactions=20, seed=1))
+        b = generate_plan(WorkloadSpec(total_transactions=20, seed=2))
+        assert [t.payload for t in a] != [t.payload for t in b]
+
+
+class TestShape:
+    def test_submit_times_follow_rate(self):
+        spec = WorkloadSpec(total_transactions=10, rate_tps=100.0)
+        plan = generate_plan(spec)
+        assert plan[0].submit_time == 0.0
+        assert plan[9].submit_time == 9 / 100.0
+
+    def test_clients_round_robin(self):
+        plan = generate_plan(WorkloadSpec(total_transactions=8, num_clients=4))
+        assert [t.client for t in plan] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_all_conflicting_at_100_percent(self):
+        plan = generate_plan(WorkloadSpec(total_transactions=30, conflict_pct=100.0))
+        assert expected_conflicting(plan) == 30
+        hot = plan[0].read_keys
+        assert all(t.read_keys == hot for t in plan)
+
+    def test_none_conflicting_at_0_percent(self):
+        plan = generate_plan(WorkloadSpec(total_transactions=30, conflict_pct=0.0))
+        assert expected_conflicting(plan) == 0
+        assert len({t.read_keys for t in plan}) == 30
+
+    def test_conflict_fraction_statistical(self):
+        plan = generate_plan(
+            WorkloadSpec(total_transactions=2000, conflict_pct=40.0, seed=5)
+        )
+        fraction = expected_conflicting(plan) / len(plan)
+        assert 0.35 < fraction < 0.45
+
+    def test_read_write_key_counts(self):
+        plan = generate_plan(
+            WorkloadSpec(total_transactions=5, read_keys=5, write_keys=3)
+        )
+        assert all(len(t.read_keys) == 5 and len(t.write_keys) == 3 for t in plan)
+
+    def test_nested_payloads_selected_by_depth(self):
+        plan = generate_plan(
+            WorkloadSpec(total_transactions=2, json_keys=3, nesting_depth=3)
+        )
+        assert set(plan[0].payload) == {
+            "temperatureRoom1", "temperatureRoom2", "temperatureRoom3",
+        }
+
+    def test_flat_payload_listing3_shape(self):
+        plan = generate_plan(WorkloadSpec(total_transactions=1))
+        assert set(plan[0].payload) == {"deviceID", "tempReadings"}
+
+    def test_accumulate_switches_function(self):
+        plan = generate_plan(WorkloadSpec(total_transactions=1, accumulate=True))
+        assert plan[0].function == "record_accumulate"
+
+    def test_payload_sequence_unique_per_tx(self):
+        plan = generate_plan(WorkloadSpec(total_transactions=50))
+        sequences = {t.payload["tempReadings"][0]["ts"] for t in plan}
+        assert len(sequences) == 50
+
+
+class TestPopulateKeys:
+    def test_hot_workload_needs_only_hot_keys(self):
+        spec = WorkloadSpec(total_transactions=100, conflict_pct=100.0)
+        plan = generate_plan(spec)
+        assert keys_to_populate(spec, plan) == spec.hot_keys()[:1]
+
+    def test_unique_workload_needs_all_keys(self):
+        spec = WorkloadSpec(total_transactions=20, conflict_pct=0.0)
+        plan = generate_plan(spec)
+        assert len(keys_to_populate(spec, plan)) == 20
+
+    def test_call_argument_roundtrip(self):
+        plan = generate_plan(WorkloadSpec(total_transactions=1))
+        call = json.loads(plan[0].call_argument())
+        assert call["read_keys"] == list(plan[0].read_keys)
+        assert call["crdt"] is True

@@ -1,0 +1,79 @@
+"""Tests for workload specifications (the paper's Tables 1–5)."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workload.spec import (
+    WorkloadSpec,
+    table1_spec,
+    table2_spec,
+    table3_spec,
+    table4_spec,
+    table5_spec,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_transactions": 0},
+            {"rate_tps": 0},
+            {"num_clients": 0},
+            {"read_keys": -1},
+            {"read_keys": 0, "write_keys": 0},
+            {"conflict_pct": 120.0},
+            {"json_keys": 0},
+            {"nesting_depth": 0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+    def test_defaults_match_paper(self):
+        spec = WorkloadSpec()
+        assert spec.total_transactions == 10000
+        assert spec.rate_tps == 300.0
+        assert spec.num_clients == 4
+
+
+class TestKeyNaming:
+    def test_hot_pool_sized_by_larger_count(self):
+        spec = WorkloadSpec(read_keys=5, write_keys=3)
+        assert len(spec.hot_keys()) == 5
+
+    def test_hot_keys_shared_across_transactions(self):
+        spec = WorkloadSpec(read_keys=2, write_keys=2)
+        assert spec.hot_keys() == spec.hot_keys()
+
+    def test_unique_keys_differ_per_tx(self):
+        spec = WorkloadSpec()
+        assert spec.unique_keys(1) != spec.unique_keys(2)
+
+
+class TestTableFactories:
+    def test_table1(self):
+        spec = table1_spec()
+        assert (spec.read_keys, spec.write_keys, spec.json_keys) == (1, 1, 2)
+        assert spec.conflict_pct == 100.0
+
+    def test_table2(self):
+        spec = table2_spec(5, 3)
+        assert (spec.read_keys, spec.write_keys) == (5, 3)
+
+    def test_table3(self):
+        spec = table3_spec(6, 6)
+        assert (spec.json_keys, spec.nesting_depth) == (6, 6)
+
+    def test_table4(self):
+        assert table4_spec(500).rate_tps == 500.0
+
+    def test_table5(self):
+        assert table5_spec(40).conflict_pct == 40.0
+
+    def test_scaled_and_with_crdt(self):
+        spec = table1_spec().scaled(100).with_crdt(False)
+        assert spec.total_transactions == 100
+        assert not spec.use_crdt
+        assert spec.rate_tps == 300.0
