@@ -106,13 +106,16 @@ class TestReorderAblation:
         populate_ledger(network, keys_to_populate(spec, plan))
         collector = MetricsCollector(env, expected=len(plan))
         network.anchor_peer.events.subscribe(collector.on_block)
+        from repro.gateway import Gateway
         from repro.workload.caliper import _client_process
+        from repro.workload.iot import IOT_CHAINCODE_NAME
 
+        contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
         per_client = {}
         for tx in plan:
             per_client.setdefault(tx.client, []).append(tx)
         for client_index, txs in sorted(per_client.items()):
-            env.process(_client_process(env, network, client_index, txs, collector))
+            env.process(_client_process(env, contract, client_index, txs, collector))
         env.run(until=collector.done)
         return collector.result("reorder-ablation")
 

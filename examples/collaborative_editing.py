@@ -16,7 +16,7 @@ section's ``paragraphs`` is a list.
 Run:  python examples/collaborative_editing.py
 """
 
-from repro import Chaincode, ShimStub
+from repro import Chaincode, Gateway, ShimStub
 from repro.common.config import CRDTConfig, NetworkConfig, OrdererConfig
 from repro.common.types import Json
 from repro.core.network import crdt_network
@@ -59,36 +59,40 @@ def main() -> None:
     )
     network = crdt_network(config)
     network.deploy(DocsChaincode())
+    contract = Gateway.connect(network).get_contract("docs")
 
-    network.invoke("docs", "create", ["paper", "FabricCRDT, Reproduced"])
-    network.flush()
+    contract.submit("create", "paper", "FabricCRDT, Reproduced")
 
     # Round 1: two authors add sections *concurrently* (same block).
-    network.invoke("docs", "add_section", ["paper", "Introduction", "alice"], client_index=0)
-    network.invoke("docs", "add_section", ["paper", "Evaluation", "bob"], client_index=1)
-    network.flush()
+    round1 = [
+        contract.submit_async("add_section", "paper", "Introduction", "alice", client_index=0),
+        contract.submit_async("add_section", "paper", "Evaluation", "bob", client_index=1),
+    ]
+    assert all(tx.commit_status().succeeded for tx in round1)
 
     # Round 2: three concurrent paragraph edits, two to the same section.
-    network.invoke(
-        "docs", "write_paragraph",
-        ["paper", "Introduction", "Blockchains conflict under concurrency.", "alice"],
-        client_index=0,
-    )
-    network.invoke(
-        "docs", "write_paragraph",
-        ["paper", "Introduction", "CRDTs merge concurrent updates.", "carol"],
-        client_index=2,
-    )
-    network.invoke(
-        "docs", "write_paragraph",
-        ["paper", "Evaluation", "All transactions commit successfully.", "bob"],
-        client_index=1,
-    )
-    network.flush()
+    round2 = [
+        contract.submit_async(
+            "write_paragraph",
+            "paper", "Introduction", "Blockchains conflict under concurrency.", "alice",
+            client_index=0,
+        ),
+        contract.submit_async(
+            "write_paragraph",
+            "paper", "Introduction", "CRDTs merge concurrent updates.", "carol",
+            client_index=2,
+        ),
+        contract.submit_async(
+            "write_paragraph",
+            "paper", "Evaluation", "All transactions commit successfully.", "bob",
+            client_index=1,
+        ),
+    ]
+    assert all(tx.commit_status().succeeded for tx in round2)
 
     assert network.failure_count() == 0, "no author ever has to resubmit"
 
-    document = network.query("docs", "read", ["paper"])
+    document = contract.evaluate("read", "paper")
     print(f"# {document['title']}\n")
     total_paragraphs = 0
     for heading in sorted(document["sections"]):

@@ -10,7 +10,7 @@ FabricCRDT (by design) does not.
 Run:  python examples/double_spend.py
 """
 
-from repro import ValidationCode, crdt_network, fabric_config, fabriccrdt_config, vanilla_network
+from repro import Gateway, ValidationCode, crdt_network, fabric_config, fabriccrdt_config, vanilla_network
 from repro.common.types import Json
 from repro.fabric.chaincode import Chaincode, ShimStub
 
@@ -38,13 +38,14 @@ class NaiveAssetChaincode(Chaincode):
 
 def attack(network, mode: str) -> tuple:
     network.deploy(NaiveAssetChaincode())
-    network.invoke("assets", "mint", ["coin-1", "mallory"])
-    network.flush()
+    contract = Gateway.connect(network).get_contract("assets")
+    contract.submit("mint", "coin-1", "mallory")
     # Both transfers endorse against the same snapshot — same block.
-    to_alice = network.invoke("assets", "transfer", ["coin-1", "mallory", "alice", mode])
-    to_bob = network.invoke("assets", "transfer", ["coin-1", "mallory", "bob", mode])
-    network.flush()
-    return network.status_of(to_alice), network.status_of(to_bob), network.state_of("coin-1")
+    to_alice = contract.submit_async("transfer", "coin-1", "mallory", "alice", mode)
+    to_bob = contract.submit_async("transfer", "coin-1", "mallory", "bob", mode)
+    alice_code = to_alice.commit_status().code
+    bob_code = to_bob.commit_status().code
+    return alice_code, bob_code, network.state_of("coin-1")
 
 
 def main() -> None:

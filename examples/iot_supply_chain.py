@@ -11,10 +11,9 @@ temperature range.
 Run:  python examples/iot_supply_chain.py
 """
 
-import json
 import random
 
-from repro import Chaincode, ShimStub, crdt_network, fabriccrdt_config
+from repro import Chaincode, Gateway, ShimStub
 from repro.common.types import Json
 
 
@@ -59,44 +58,48 @@ class ColdChainChaincode(Chaincode):
 
 
 def main() -> None:
-    network = crdt_network(fabriccrdt_config(max_message_count=25))
     # Algorithm 1 seeds each block's CRDT from committed state so readings
     # accumulate across blocks (DESIGN.md §3, decision 1).
     from repro.common.config import CRDTConfig, NetworkConfig, OrdererConfig
+    from repro.core.network import crdt_network
 
     config = NetworkConfig(
         orderer=OrdererConfig(max_message_count=25),
         crdt=CRDTConfig(seed_from_state=True),
         crdt_enabled=True,
     )
-    from repro.core.network import crdt_network as build
-
-    network = build(config)
+    network = crdt_network(config)
     network.deploy(ColdChainChaincode())
+    contract = Gateway.connect(network).get_contract("coldchain")
 
-    network.invoke("coldchain", "register", ["SHIP-7", "vaccine", "08"])
-    network.invoke("coldchain", "register", ["SHIP-9", "produce", "12"])
-    network.flush()
+    registered = [
+        contract.submit_async("register", "SHIP-7", "vaccine", "08"),
+        contract.submit_async("register", "SHIP-9", "produce", "12"),
+    ]
+    assert all(tx.commit_status().succeeded for tx in registered)
 
-    # Two sensors per shipment submit concurrently over three rounds; all
-    # of each round's readings land in the same block and merge.
+    # Two sensors per shipment submit concurrently over three rounds; each
+    # round's readings land in the same block and merge.
     rng = random.Random(42)
     total = 0
     for round_number in range(3):
+        in_flight = []
         for shipment in ("SHIP-7", "SHIP-9"):
             for sensor, kind in (("t-probe", "temperature"), ("h-probe", "humidity")):
                 value = str(rng.randint(2, 14))
-                network.invoke(
-                    "coldchain",
-                    "sense",
-                    [shipment, sensor, kind, value, f"r{round_number}.{sensor}"],
-                    client_index=total % 4,
+                in_flight.append(
+                    contract.submit_async(
+                        "sense",
+                        shipment, sensor, kind, value, f"r{round_number}.{sensor}",
+                        client_index=total % 4,
+                    )
                 )
                 total += 1
-        network.flush()
+        for tx in in_flight:  # first call cuts the round's block
+            tx.commit_status()
 
     print(f"submitted {total} sensor readings; "
-          f"failures: {network.failure_count() - 0}")
+          f"failures: {network.failure_count()}")
 
     for shipment in ("SHIP-7", "SHIP-9"):
         state = network.state_of(f"shipment/{shipment}")
@@ -106,7 +109,7 @@ def main() -> None:
               f"(temperatures: {temps})")
         assert len(readings) == 6, "no update loss: every reading survived"
 
-    audit = network.query("coldchain", "audit", ["09"])
+    audit = contract.evaluate("audit", "09")
     print(f"audit (maxTemp <= 09): {audit['matches']}")
     network.assert_states_converged()
     print("all peers converged ✔")

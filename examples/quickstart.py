@@ -7,22 +7,24 @@ and writing the same key before any block commits), and shows:
 * vanilla Fabric commits exactly one and rejects the rest (MVCC conflicts);
 * FabricCRDT merges all five into one converged JSON value, zero failures.
 
+Both networks are driven through the same Gateway API — the client code is
+identical; only the peer validation behaviour differs.
+
 Run:  python examples/quickstart.py
 """
 
 import json
 
-from repro import ValidationCode, crdt_network, fabric_config, fabriccrdt_config, vanilla_network
+from repro import Gateway, ValidationCode, crdt_network, fabric_config, fabriccrdt_config, vanilla_network
 from repro.workload.iot import IoTChaincode, encode_call, reading_payload
 
 
-def submit_conflicting_batch(network, crdt: bool) -> list[str]:
+def submit_conflicting_batch(contract, crdt: bool) -> list:
     """Populate one device key, then submit 5 concurrent read-modify-writes."""
 
-    network.invoke("iot", "populate", [json.dumps({"keys": ["device-1"]})])
-    network.flush()  # commit the populate block
+    contract.submit("populate", json.dumps({"keys": ["device-1"]}))
 
-    tx_ids = []
+    submitted = []
     for i in range(5):
         call = encode_call(
             read_keys=["device-1"],
@@ -30,33 +32,34 @@ def submit_conflicting_batch(network, crdt: bool) -> list[str]:
             payload=reading_payload("device-1", temperature=20 + i, sequence=i),
             crdt=crdt,
         )
-        tx_ids.append(network.invoke("iot", "record", [call]))
-    network.flush()  # cut and commit the block holding all five
-    return tx_ids
+        submitted.append(contract.submit_async("record", call))
+    # The first commit_status() cuts the block holding all five.
+    return [tx.commit_status() for tx in submitted]
 
 
-def show(network, tx_ids, title):
+def show(network, statuses, title):
     print(f"--- {title} ---")
-    for tx_id in tx_ids:
-        code = network.status_of(tx_id)
-        print(f"  tx {tx_id[:8]}…  {code.name}")
+    for status in statuses:
+        print(f"  tx {status.tx_id[:8]}…  {status.code.name}")
     state = network.state_of("device-1")
     readings = state["tempReadings"]
     print(f"  committed readings: {[r['temperature'] for r in readings]}")
-    valid = sum(1 for t in tx_ids if network.status_of(t) is ValidationCode.VALID)
+    valid = sum(1 for s in statuses if s.code is ValidationCode.VALID)
     print(f"  {valid}/5 transactions committed successfully\n")
 
 
 def main() -> None:
     fabric = vanilla_network(fabric_config(max_message_count=400))
     fabric.deploy(IoTChaincode())
-    fabric_txs = submit_conflicting_batch(fabric, crdt=False)
-    show(fabric, fabric_txs, "vanilla Fabric (MVCC validation)")
+    contract = Gateway.connect(fabric).get_contract("iot")
+    statuses = submit_conflicting_batch(contract, crdt=False)
+    show(fabric, statuses, "vanilla Fabric (MVCC validation)")
 
     fabriccrdt = crdt_network(fabriccrdt_config(max_message_count=25))
     fabriccrdt.deploy(IoTChaincode())
-    crdt_txs = submit_conflicting_batch(fabriccrdt, crdt=True)
-    show(fabriccrdt, crdt_txs, "FabricCRDT (CRDT merge)")
+    contract = Gateway.connect(fabriccrdt).get_contract("iot")
+    statuses = submit_conflicting_batch(contract, crdt=True)
+    show(fabriccrdt, statuses, "FabricCRDT (CRDT merge)")
 
     fabriccrdt.assert_states_converged()
     print("all FabricCRDT peers hold byte-identical world states ✔")

@@ -12,7 +12,7 @@ Runs the same three concurrent payments under three storage disciplines:
 Run:  python examples/smallbank.py
 """
 
-from repro import ValidationCode, crdt_network, fabriccrdt_config
+from repro import Gateway, crdt_network, fabriccrdt_config
 from repro.workload.smallbank import SmallBankChaincode, total_money
 
 ACCOUNTS = ("alice", "bob", "carol")
@@ -22,23 +22,25 @@ PAYMENTS = [("alice", "bob", 60), ("alice", "carol", 70), ("bob", "carol", 10)]
 def run_mode(mode: str) -> None:
     network = crdt_network(fabriccrdt_config(max_message_count=20))
     network.deploy(SmallBankChaincode())
-    for account in ACCOUNTS:
-        network.invoke("smallbank", "create_account", [account, "100", "100", mode])
-    network.flush()
-    initial_total = total_money(network, ACCOUNTS)
+    contract = Gateway.connect(network).get_contract("smallbank")
 
-    tx_ids = [
-        network.invoke("smallbank", "send_payment", [src, dst, str(amount), mode])
+    created = [
+        contract.submit_async("create_account", account, "100", "100", mode)
+        for account in ACCOUNTS
+    ]
+    assert all(tx.commit_status().succeeded for tx in created)
+    initial_total = total_money(contract, ACCOUNTS)
+
+    in_flight = [
+        contract.submit_async("send_payment", src, dst, str(amount), mode)
         for src, dst, amount in PAYMENTS
     ]
-    network.flush()
+    statuses = [tx.commit_status() for tx in in_flight]
 
-    committed = sum(
-        1 for tx in tx_ids if network.status_of(tx) is ValidationCode.VALID
-    )
-    final_total = total_money(network, ACCOUNTS)
+    committed = sum(1 for status in statuses if status.succeeded)
+    final_total = total_money(contract, ACCOUNTS)
     balances = {
-        account: network.query("smallbank", "balance", [account])["checking"]
+        account: contract.evaluate("balance", account)["checking"]
         for account in ACCOUNTS
     }
     conserved = "yes" if final_total == initial_total else f"NO ({final_total})"

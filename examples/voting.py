@@ -11,6 +11,7 @@ sketched but never shipped.
 Run:  python examples/voting.py
 """
 
+from repro import Gateway
 from repro.common.config import NetworkConfig, OrdererConfig
 from repro.core import VotingChaincode
 from repro.core.network import crdt_network
@@ -21,6 +22,7 @@ def main() -> None:
         NetworkConfig(orderer=OrdererConfig(max_message_count=100), crdt_enabled=True)
     )
     network.deploy(VotingChaincode())
+    contract = Gateway.connect(network).get_contract("voting")
 
     ballots = {"mergers": ["approve", "reject"], "logo": ["hexagon", "ouroboros"]}
     votes = [
@@ -30,23 +32,28 @@ def main() -> None:
         ("logo", "ouroboros", 6),
     ]
 
-    total = 0
+    submitted = []
     for ballot, option, count in votes:
         for voter_index in range(count):
-            network.invoke(
-                "voting",
-                "vote",
-                [ballot, option, f"{option}-voter-{voter_index}"],
-                client_index=total % 4,
+            submitted.append(
+                contract.submit_async(
+                    "vote",
+                    ballot,
+                    option,
+                    f"{option}-voter-{voter_index}",
+                    client_index=len(submitted) % 4,
+                )
             )
-            total += 1
-    network.flush()  # every vote in flight lands in this block and merges
+    # Every vote in flight lands in one block and merges; the first
+    # commit_status() cuts it, the rest read the recorded statuses.
+    statuses = [tx.commit_status() for tx in submitted]
 
-    print(f"submitted {total} concurrent votes; failures: {network.failure_count()}")
-    assert network.failure_count() == 0
+    failures = sum(1 for status in statuses if not status.succeeded)
+    print(f"submitted {len(submitted)} concurrent votes; failures: {failures}")
+    assert failures == 0
 
     for ballot, options in ballots.items():
-        tally = network.query("voting", "tally", [ballot])
+        tally = contract.evaluate("tally", ballot)
         print(f"ballot {ballot!r}: {tally}")
         for option in options:
             expected = next(c for b, o, c in votes if b == ballot and o == option)

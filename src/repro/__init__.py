@@ -8,18 +8,24 @@ Permissioned Blockchains* (Middleware '19).  The package provides:
 * :mod:`repro.crdt` — a CRDT library, including the op-based JSON CRDT the
   paper builds on;
 * :mod:`repro.core` — FabricCRDT itself (Algorithms 1 and 2, the CRDT peer);
+* :mod:`repro.gateway` — the Gateway API, one transport-agnostic
+  submit/evaluate surface over the synchronous and discrete-event networks;
 * :mod:`repro.sim` — the discrete-event kernel behind the timed experiments;
 * :mod:`repro.workload` / :mod:`repro.bench` — the Caliper-equivalent driver
   and one experiment definition per figure of the paper's evaluation.
 
 Quickstart::
 
-    from repro import crdt_network, fabriccrdt_config
+    import json
+    from repro import Gateway, crdt_network, fabriccrdt_config
     from repro.workload.iot import IoTChaincode
 
     network = crdt_network(fabriccrdt_config(max_message_count=25))
     network.deploy(IoTChaincode())
-    network.invoke("iot", "record", [...])
+
+    contract = Gateway.connect(network).get_contract("iot")
+    contract.submit("populate", json.dumps({"keys": ["device-1"]}))
+    print(contract.evaluate("read_device", json.dumps({"key": "device-1"})))
 """
 
 from .common.config import (
@@ -36,8 +42,18 @@ from .core.peer import CRDTPeer
 from .fabric.chaincode import Chaincode, ShimStub
 from .fabric.localnet import LocalNetwork
 from .fabric.peer import Peer
+from .gateway import (
+    Channel,
+    CommitError,
+    Contract,
+    EndorseError,
+    Gateway,
+    GatewayError,
+    MVCCConflictError,
+    SubmittedTransaction,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CRDTConfig",
@@ -56,5 +72,13 @@ __all__ = [
     "LocalNetwork",
     "Chaincode",
     "ShimStub",
+    "Gateway",
+    "Contract",
+    "Channel",
+    "SubmittedTransaction",
+    "GatewayError",
+    "EndorseError",
+    "CommitError",
+    "MVCCConflictError",
     "__version__",
 ]

@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench fig7 --transactions 2000
     python -m repro.bench all --transactions 1000 --json results.json
     python -m repro.bench calibration       # print the fitted constants
+    python -m repro.bench smoke             # <60s CI sanity point (fig3 @ 25 txs/block)
 
 Full-scale runs take minutes (Figure 3's 1000-tx blocks do real quadratic
 merge work); scaled-down runs preserve the qualitative shapes.
@@ -19,7 +20,7 @@ import sys
 import time
 
 from .calibration import calibration_report
-from .experiments import FIGURES, ExperimentScale
+from .experiments import FIGURES, ExperimentScale, figure3
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -29,8 +30,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=[*FIGURES.keys(), "all", "calibration"],
-        help="which figure to regenerate",
+        choices=[*FIGURES.keys(), "all", "calibration", "smoke"],
+        help="which figure to regenerate (smoke: one small fig3 point for CI)",
     )
     parser.add_argument(
         "--transactions",
@@ -49,6 +50,25 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.target == "calibration":
         print(json.dumps(calibration_report(), indent=2))
+        return 0
+
+    if args.target == "smoke":
+        # One scaled-down Figure-3 point: enough to exercise the full
+        # Gateway → DES → commit → metrics pipeline in well under a minute.
+        scale = ExperimentScale(
+            transactions=min(args.transactions, 300),
+            light_topology=not args.full_topology,
+            seed=args.seed,
+        )
+        started = time.time()
+        result = figure3(scale, block_sizes=(25,))
+        print(result.format())
+        print(f"[smoke: {time.time() - started:.1f}s wall clock, "
+              f"{scale.transactions} txs/run]")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump({"smoke": result.comparison_rows()}, handle, indent=2, default=str)
+            print(f"rows written to {args.json}")
         return 0
 
     scale = ExperimentScale(

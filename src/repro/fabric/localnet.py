@@ -1,31 +1,45 @@
 """A synchronous, in-process Fabric network — no simulation clock.
 
-:class:`LocalNetwork` wires the pure protocol components (peers, ordering
-service, clients) together for unit tests, examples, and anywhere timing is
-irrelevant.  Every call drives the full Execute-Order-Validate lifecycle;
-blocks are dispatched to *all* peers as they are cut, and :meth:`flush`
-force-cuts the pending batch (standing in for the batch timeout).
+:class:`LocalNetwork` is a thin shell over the shared
+:class:`~repro.gateway.channel.Channel` runtime and the inline
+:class:`~repro.gateway.transport.SyncTransport`: the same wiring the
+discrete-event network uses, minus the clock.  Every call drives the full
+Execute-Order-Validate lifecycle; blocks are dispatched to *all* peers as
+they are cut, and :meth:`flush` force-cuts the pending batch (standing in
+for the batch timeout).
 
 The constructor takes a ``peer_factory`` so the same wiring serves vanilla
 Fabric and FabricCRDT (see :func:`repro.core.network.crdt_network`).
+
+Prefer the Gateway API for new code::
+
+    gateway = Gateway.connect(network)
+    contract = gateway.get_contract("iot")
+    contract.submit("record", call)
+
+:meth:`invoke` and :meth:`query` remain as deprecated shims over the same
+transport.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Union
+import warnings
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 from ..common.config import NetworkConfig
-from ..common.errors import EndorsementError, FabricError
 from ..common.types import Json, TxStatus, ValidationCode
-from .block import Block, CommittedBlock
-from .chaincode import Chaincode, ChaincodeRegistry
-from .client import Client, EndorsementRoundFailure, select_endorsing_orgs
+from .block import Block
+from .chaincode import Chaincode
+from .client import Client, EndorsementRoundFailure
 from .identity import MembershipRegistry
 from .ledger import Ledger
-from .orderer import OrderingService
 from .peer import Peer
-from .policy import EndorsementPolicy, or_policy
+from .policy import EndorsementPolicy
 from .statedb import StateDB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gateway.channel import Channel
+    from ..gateway.transport import SyncTransport
 
 PeerFactory = Callable[..., Peer]
 
@@ -38,67 +52,64 @@ class LocalNetwork:
         config: Optional[NetworkConfig] = None,
         peer_factory: Optional[PeerFactory] = None,
     ) -> None:
-        self.config = config if config is not None else NetworkConfig()
-        self.membership = MembershipRegistry()
-        self.chaincodes = ChaincodeRegistry()
-        self._policies: dict[str, EndorsementPolicy] = {}
-        factory = peer_factory if peer_factory is not None else Peer
+        # Imported lazily: the gateway package itself imports fabric
+        # submodules, so a module-level import here would be circular.
+        from ..gateway.channel import Channel
+        from ..gateway.transport import SyncTransport
 
-        topology = self.config.topology
-        self.peers: list[Peer] = []
-        for org_name in topology.org_names:
-            for peer_index in range(topology.peers_per_org):
-                identity = self.membership.enroll(org_name, f"peer{peer_index}")
-                self.peers.append(factory(identity, self.membership, self.chaincodes))
+        self.channel: "Channel" = Channel(config, peer_factory)
+        self.transport: "SyncTransport" = SyncTransport(self.channel)
 
-        self.orderer = OrderingService(self.config.orderer)
-        self.clients = [
-            Client(
-                self.membership.enroll(
-                    topology.org_names[i % topology.num_orgs], f"client{i}"
-                ),
-                self.membership,
-            )
-            for i in range(4)
-        ]
-        #: Transaction statuses observed on the anchor peer, by tx ID.
-        self.statuses: dict[str, TxStatus] = {}
-        self.anchor_peer.events.subscribe(self._on_commit)
+    # -- channel delegation ------------------------------------------------------
 
-    # -- topology accessors ------------------------------------------------------
+    @property
+    def config(self) -> NetworkConfig:
+        return self.channel.config
+
+    @property
+    def membership(self) -> MembershipRegistry:
+        return self.channel.membership
+
+    @property
+    def chaincodes(self):
+        return self.channel.chaincodes
+
+    @property
+    def peers(self) -> list[Peer]:
+        return self.channel.peers
+
+    @property
+    def clients(self) -> list[Client]:
+        return self.channel.clients
+
+    @property
+    def statuses(self) -> dict[str, TxStatus]:
+        """Transaction statuses observed on the anchor peer, by tx ID."""
+
+        return self.channel.statuses
+
+    @property
+    def orderer(self):
+        return self.transport.orderer
 
     @property
     def anchor_peer(self) -> Peer:
-        return self.peers[0]
+        return self.channel.anchor_peer
 
     @property
     def org_names(self) -> tuple[str, ...]:
-        return self.config.topology.org_names
+        return self.channel.org_names
 
     def peers_of(self, org_name: str) -> list[Peer]:
-        return [peer for peer in self.peers if peer.org_name == org_name]
-
-    # -- deployment ----------------------------------------------------------------
+        return self.channel.peers_of(org_name)
 
     def deploy(self, chaincode: Chaincode, policy: Optional[EndorsementPolicy] = None) -> None:
-        """Deploy a chaincode on the channel with an endorsement policy.
-
-        The default policy is ``OR`` over all organizations, which is what
-        the paper's Caliper benchmarks effectively use.
-        """
-
-        self.chaincodes.deploy(chaincode)
-        self._policies[chaincode.name] = (
-            policy if policy is not None else or_policy(*self.org_names)
-        )
+        self.channel.deploy(chaincode, policy)
 
     def policy_for(self, chaincode_name: str) -> EndorsementPolicy:
-        try:
-            return self._policies[chaincode_name]
-        except KeyError:
-            raise FabricError(f"chaincode {chaincode_name!r} not deployed") from None
+        return self.channel.policy_for(chaincode_name)
 
-    # -- transaction lifecycle -------------------------------------------------------
+    # -- deprecated transaction shims ------------------------------------------------
 
     def invoke(
         self,
@@ -110,106 +121,70 @@ class LocalNetwork:
     ) -> Union[str, EndorsementRoundFailure]:
         """Run one transaction through endorse → order → (maybe) commit.
 
+        .. deprecated:: use ``Gateway.connect(network).get_contract(...)``
+           and ``Contract.submit`` / ``submit_async`` instead.
+
         Returns the transaction ID on successful submission (the transaction
         commits when its block is cut — immediately if the block filled, or
         on :meth:`flush`), or the endorsement failure.
         """
 
-        client = self.clients[client_index % len(self.clients)]
-        policy = self.policy_for(chaincode)
-        proposal = client.new_proposal(
-            self.config.topology.channel, chaincode, function, args, policy, now
+        warnings.warn(
+            "LocalNetwork.invoke is deprecated; use the Gateway API "
+            "(Gateway.connect(network).get_contract(...).submit_async)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        endorsing_orgs = select_endorsing_orgs(policy, self.org_names)
-        endorsing_peers = [self.peers_of(org)[0] for org in endorsing_orgs]
-        outcome = client.endorse_at(proposal, endorsing_peers, now)
-        if isinstance(outcome, EndorsementRoundFailure):
-            return outcome
-        if outcome.envelope.rwset.is_read_only:
-            # Read transactions are not ordered or committed (paper §3).
-            return proposal.tx_id
-        self._dispatch(self.orderer.submit(outcome.envelope, now), now)
-        return proposal.tx_id
+        tx = self.transport.submit_async(
+            chaincode, function, args, client_index=client_index, now=now
+        )
+        if tx.endorse_failure is not None:
+            return tx.endorse_failure
+        return tx.tx_id
 
     def query(
         self, chaincode: str, function: str, args: Sequence[str] = (), client_index: int = 0
     ) -> Json:
-        """Evaluate a read-only invocation against the anchor peer."""
+        """Evaluate a read-only invocation against the anchor peer.
 
-        client = self.clients[client_index % len(self.clients)]
-        policy = self.policy_for(chaincode)
-        proposal = client.new_proposal(
-            self.config.topology.channel, chaincode, function, args, policy, 0.0
+        .. deprecated:: use ``Contract.evaluate`` instead.
+        """
+
+        warnings.warn(
+            "LocalNetwork.query is deprecated; use the Gateway API "
+            "(Gateway.connect(network).get_contract(...).evaluate)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        outcome = client.endorse_at(proposal, [self.anchor_peer])
-        if isinstance(outcome, EndorsementRoundFailure):
-            raise EndorsementError(outcome.reason)
-        from ..common.serialization import from_bytes
-
-        return from_bytes(outcome.envelope.chaincode_result)
+        return self.transport.evaluate(chaincode, function, args, client_index=client_index)
 
     def flush(self, now: float = 0.0) -> Optional[Block]:
         """Force-cut the pending batch and commit it everywhere."""
 
-        block = self.orderer.flush(now)
-        if block is not None:
-            self._dispatch([block], now)
-        return block
-
-    def _dispatch(self, blocks: Sequence[Block], now: float) -> None:
-        for block in blocks:
-            for peer in self.peers:
-                peer.validate_and_commit(block, commit_time=now)
-
-    def _on_commit(self, committed: CommittedBlock, peer_name: str) -> None:
-        for tx_index, tx in enumerate(committed.block.transactions):
-            self.statuses[tx.tx_id] = TxStatus(
-                tx_id=tx.tx_id,
-                code=committed.metadata.code_for(tx_index),
-                block_num=committed.block.number,
-                tx_num=tx_index,
-                submit_time=tx.proposal.submit_time,
-                commit_time=committed.commit_time,
-            )
+        return self.transport.flush(now)
 
     # -- inspection --------------------------------------------------------------------
 
     def status_of(self, tx_id: str) -> Optional[ValidationCode]:
-        status = self.statuses.get(tx_id)
-        return status.code if status is not None else None
+        return self.channel.status_of(tx_id)
 
     def state_of(self, key: str) -> Optional[Json]:
-        """Committed JSON value of ``key`` on the anchor peer."""
-
-        from ..common.serialization import from_bytes
-
-        raw = self.anchor_peer.ledger.state.get_value(key)
-        return from_bytes(raw) if raw is not None else None
+        return self.channel.state_of(key)
 
     def ledger_of(self, peer_index: int = 0) -> Ledger:
-        return self.peers[peer_index].ledger
+        return self.channel.ledger_of(peer_index)
 
     def world_states_converged(self) -> bool:
-        """True if every peer holds an identical world state."""
-
-        reference = self.anchor_peer.ledger.state.snapshot_versions()
-        for peer in self.peers[1:]:
-            if peer.ledger.state.snapshot_versions() != reference:
-                return False
-            for key in reference:
-                if peer.ledger.state.get_value(key) != self.anchor_peer.ledger.state.get_value(key):
-                    return False
-        return True
+        return self.channel.world_states_converged()
 
     def assert_states_converged(self) -> None:
-        if not self.world_states_converged():
-            raise FabricError("peer world states diverged")
+        self.channel.assert_states_converged()
 
     def success_count(self) -> int:
-        return sum(1 for status in self.statuses.values() if status.succeeded)
+        return self.channel.success_count()
 
     def failure_count(self) -> int:
-        return sum(1 for status in self.statuses.values() if not status.succeeded)
+        return self.channel.failure_count()
 
     def world_state(self) -> StateDB:
-        return self.anchor_peer.ledger.state
+        return self.channel.world_state()

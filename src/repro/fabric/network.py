@@ -1,214 +1,40 @@
-"""The timed Fabric network: protocol components wired onto the DES kernel.
+"""The timed Fabric network: a thin shell over the DES transport.
 
-Each peer runs two service pipelines, matching a real peer's internals:
+:class:`SimulatedNetwork` binds the shared
+:class:`~repro.gateway.channel.Channel` runtime to the discrete-event
+:class:`~repro.gateway.des.DESTransport`, whose peer/orderer pipelines live
+in :mod:`repro.fabric.nodes`.  The protocol behaviour — endorsement pools,
+the in-order commit pipeline whose service window produces the paper's MVCC
+conflicts (§3), epoch-guarded batch timers — is documented on the node
+classes themselves.
 
-* an **endorsement pool** (``CostModel.endorsement_pool_size`` concurrent
-  chaincode executors) serving proposal requests;
-* a single-threaded **commit pipeline** consuming blocks in order —
-  validation/merge work is computed when a block's service starts, the state
-  change becomes visible when it ends, so proposals endorsed during the
-  window simulate against pre-block state.  This window is precisely the
-  endorse-to-commit latency the paper identifies as the source of MVCC
-  conflicts (§3).
-
-The orderer consumes a total-order mailbox and cuts blocks by count, bytes,
-and batch timeout (timers are epoch-guarded so a count-cut invalidates the
-pending timeout).  Clients are *not* defined here — the Caliper-equivalent
-driver in :mod:`repro.workload.caliper` spawns transaction flows against
-:meth:`SimulatedNetwork.submit_flow`.
+Clients are *not* defined here — the Caliper-equivalent driver in
+:mod:`repro.workload.caliper` submits through the Gateway API
+(``Contract.submit_async``); :meth:`SimulatedNetwork.submit_flow` remains
+as a deprecated shim over the same flow.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Any, Callable, Generator, Optional, Sequence
+import warnings
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Sequence
 
 from ..common.config import NetworkConfig
-from ..common.errors import FabricError
-from ..common.rng import SeedSequence
+from ..common.rng import SeedSequence  # noqa: F401  (re-exported for compat)
 from ..sim.engine import Environment
-from ..sim.resources import Resource, Store
-from .chaincode import Chaincode, ChaincodeRegistry
-from .client import Client, EndorsementRoundFailure
+from .chaincode import Chaincode
+from .client import Client
 from .costmodel import CostModel
-from .identity import MembershipRegistry
+from .nodes import OrdererNode, PeerNode, send_after  # noqa: F401  (compat re-export)
 from .orderer import OrderingService
 from .peer import Peer
-from .policy import EndorsementPolicy, or_policy
-from .transaction import EndorsementFailure, Proposal, ProposalResponse
+from .policy import EndorsementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..gateway.channel import Channel
+    from ..gateway.des import DESTransport
 
 PeerFactory = Callable[..., Peer]
-
-
-def send_after(env: Environment, store: Store, item: Any, delay: float) -> None:
-    """Deliver ``item`` into ``store`` after ``delay`` (fire-and-forget)."""
-
-    def _deliver() -> Generator:
-        if delay > 0:
-            yield env.timeout(delay)
-        yield store.put(item)
-
-    env.process(_deliver())
-
-
-class PeerNode:
-    """A peer's timed service pipelines."""
-
-    def __init__(
-        self,
-        env: Environment,
-        peer: Peer,
-        cost: CostModel,
-        rng: random.Random,
-    ) -> None:
-        self.env = env
-        self.peer = peer
-        self.cost = cost
-        self.rng = rng
-        self.proposal_box: Store = Store(env)
-        self.block_box: Store = Store(env)
-        self.endorse_pool = Resource(env, cost.endorsement_pool_size)
-        #: Blocks received ahead of the chain tip, awaiting their gap.
-        self._pending_blocks: dict[int, Any] = {}
-        #: Set by the network: callable(from_number, to_number) requesting
-        #: redelivery of missed blocks (Fabric's deliver-service catch-up).
-        self.request_catchup: Optional[Callable[[int, int], None]] = None
-        env.process(self._proposal_loop())
-        env.process(self._commit_loop())
-
-    @property
-    def name(self) -> str:
-        return self.peer.name
-
-    # -- endorsement pipeline ------------------------------------------------
-
-    def _proposal_loop(self) -> Generator:
-        while True:
-            proposal, reply_box = yield self.proposal_box.get()
-            self.env.process(self._handle_proposal(proposal, reply_box))
-
-    def _handle_proposal(self, proposal: Proposal, reply_box: Store) -> Generator:
-        request = self.endorse_pool.request()
-        yield request
-        try:
-            # Simulate against the state visible when execution starts.
-            outcome = self.peer.endorse(proposal, self.env.now)
-            if isinstance(outcome, ProposalResponse):
-                service = self.cost.endorse_time(
-                    len(outcome.rwset.reads), len(outcome.rwset.writes)
-                )
-            else:
-                service = self.cost.endorse_time(0, 0)
-            if service > 0:
-                yield self.env.timeout(service)
-        finally:
-            self.endorse_pool.release(request)
-        send_after(self.env, reply_box, outcome, self.cost.peer_to_client.sample(self.rng))
-
-    # -- commit pipeline ----------------------------------------------------------
-
-    def _commit_loop(self) -> Generator:
-        """Commit blocks strictly in order, buffering early arrivals.
-
-        Random link latencies (or injected loss) can deliver blocks out of
-        order or not at all; a real peer buffers ahead-of-tip blocks and
-        fetches gaps through the deliver service.  ``request_catchup`` models
-        that fetch; duplicates are ignored.
-        """
-
-        while True:
-            block = yield self.block_box.get()
-            height = self.peer.ledger.height
-            if block.number < height:
-                continue  # duplicate redelivery
-            self._pending_blocks.setdefault(block.number, block)
-            if block.number > height and self.request_catchup is not None:
-                missing_from = height
-                missing_to = min(
-                    number for number in self._pending_blocks if number > height
-                )
-                self.request_catchup(missing_from, missing_to)
-            while self.peer.ledger.height in self._pending_blocks:
-                ready = self._pending_blocks.pop(self.peer.ledger.height)
-                prepared = self.peer.prepare_block(ready)
-                service = self.cost.commit_time(prepared.work)
-                if service > 0:
-                    yield self.env.timeout(service)
-                self.peer.apply_prepared(prepared, commit_time=self.env.now)
-
-
-class OrdererNode:
-    """The ordering service's timed mailbox loop + batch-timeout timers.
-
-    Cut blocks are archived so peers can catch up on missed deliveries
-    (Fabric's deliver service re-serves any committed block).
-    """
-
-    def __init__(
-        self,
-        env: Environment,
-        service: OrderingService,
-        cost: CostModel,
-        rng: random.Random,
-    ) -> None:
-        self.env = env
-        self.service = service
-        self.cost = cost
-        self.rng = rng
-        self.envelope_box: Store = Store(env)
-        self._peer_nodes: list[PeerNode] = []
-        self._timer_epoch = -1
-        self.archive: dict[int, Any] = {}
-        env.process(self._loop())
-
-    def attach_peer(self, node: PeerNode) -> None:
-        self._peer_nodes.append(node)
-
-        def catchup(from_number: int, to_number: int) -> None:
-            for number in range(from_number, to_number):
-                block = self.archive.get(number)
-                if block is not None:
-                    send_after(
-                        self.env,
-                        node.block_box,
-                        block,
-                        self.cost.orderer_to_peer.sample(self.rng),
-                    )
-
-        node.request_catchup = catchup
-
-    def _loop(self) -> Generator:
-        while True:
-            envelope = yield self.envelope_box.get()
-            for block in self.service.submit(envelope, self.env.now):
-                self._dispatch(block)
-            self._ensure_timer()
-
-    def _ensure_timer(self) -> None:
-        if not self.service.has_pending:
-            return
-        epoch = self.service.batch_epoch
-        if epoch == self._timer_epoch:
-            return  # a timer for this batch is already pending
-        self._timer_epoch = epoch
-        deadline = self.service.timeout_deadline()
-        assert deadline is not None
-        self.env.process(self._timer(epoch, deadline))
-
-    def _timer(self, epoch: int, deadline: float) -> Generator:
-        delay = max(0.0, deadline - self.env.now)
-        if delay > 0:
-            yield self.env.timeout(delay)
-        block = self.service.cut_on_timeout(self.env.now, epoch)
-        if block is not None:
-            self._dispatch(block)
-
-    def _dispatch(self, block) -> None:
-        self.archive[block.number] = block
-        for node in self._peer_nodes:
-            send_after(
-                self.env, node.block_box, block, self.cost.orderer_to_peer.sample(self.rng)
-            )
 
 
 class SimulatedNetwork:
@@ -223,129 +49,94 @@ class SimulatedNetwork:
         endorse_at: str = "all",
         ordering_cls: type[OrderingService] = OrderingService,
     ) -> None:
-        if endorse_at not in ("all", "policy"):
-            raise FabricError(f"unknown endorsement mode: {endorse_at!r}")
-        self.env = env
-        self.config = config if config is not None else NetworkConfig()
-        self.cost = cost if cost is not None else CostModel()
-        self.endorse_at = endorse_at
-        self.membership = MembershipRegistry()
-        self.chaincodes = ChaincodeRegistry()
-        self._policies: dict[str, EndorsementPolicy] = {}
-        self._seeds = SeedSequence(self.config.seed)
+        # Imported lazily: the gateway package itself imports fabric
+        # submodules, so a module-level import here would be circular.
+        from ..gateway.channel import Channel
+        from ..gateway.des import DESTransport
 
-        factory = peer_factory if peer_factory is not None else Peer
-        topology = self.config.topology
-        self.peer_nodes: list[PeerNode] = []
-        for org_name in topology.org_names:
-            for peer_index in range(topology.peers_per_org):
-                identity = self.membership.enroll(org_name, f"peer{peer_index}")
-                peer = factory(identity, self.membership, self.chaincodes)
-                node = PeerNode(
-                    env, peer, self.cost, self._seeds.stream(f"peer/{identity.qualified_name}")
-                )
-                self.peer_nodes.append(node)
-
-        self.ordering = ordering_cls(self.config.orderer)
-        self.orderer_node = OrdererNode(
-            env, self.ordering, self.cost, self._seeds.stream("orderer")
+        self.channel: "Channel" = Channel(config, peer_factory)
+        self.transport: "DESTransport" = DESTransport(
+            env, self.channel, cost=cost, endorse_at=endorse_at, ordering_cls=ordering_cls
         )
-        for node in self.peer_nodes:
-            self.orderer_node.attach_peer(node)
-
-        self.clients = [
-            Client(
-                self.membership.enroll(
-                    topology.org_names[i % topology.num_orgs], f"client{i}"
-                ),
-                self.membership,
-            )
-            for i in range(4)
-        ]
-        self._flow_rng = self._seeds.stream("flows")
 
     # -- accessors -----------------------------------------------------------------
 
     @property
+    def env(self) -> Environment:
+        return self.transport.env
+
+    @property
+    def config(self) -> NetworkConfig:
+        return self.channel.config
+
+    @property
+    def cost(self) -> CostModel:
+        return self.transport.cost
+
+    @property
+    def endorse_at(self) -> str:
+        return self.transport.endorse_at
+
+    @property
+    def membership(self):
+        return self.channel.membership
+
+    @property
+    def chaincodes(self):
+        return self.channel.chaincodes
+
+    @property
+    def clients(self) -> list[Client]:
+        return self.channel.clients
+
+    @property
+    def peer_nodes(self) -> list[PeerNode]:
+        return self.transport.peer_nodes
+
+    @property
+    def ordering(self) -> OrderingService:
+        return self.transport.ordering
+
+    @property
+    def orderer_node(self) -> OrdererNode:
+        return self.transport.orderer_node
+
+    @property
     def anchor_node(self) -> PeerNode:
-        return self.peer_nodes[0]
+        return self.transport.anchor_node
 
     @property
     def anchor_peer(self) -> Peer:
-        return self.peer_nodes[0].peer
+        return self.channel.anchor_peer
 
     @property
     def org_names(self) -> tuple[str, ...]:
-        return self.config.topology.org_names
+        return self.channel.org_names
 
     def peers(self) -> list[Peer]:
-        return [node.peer for node in self.peer_nodes]
+        return list(self.channel.peers)
 
     # -- deployment ------------------------------------------------------------------
 
     def deploy(self, chaincode: Chaincode, policy: Optional[EndorsementPolicy] = None) -> None:
-        self.chaincodes.deploy(chaincode)
-        self._policies[chaincode.name] = (
-            policy if policy is not None else or_policy(*self.org_names)
-        )
+        self.channel.deploy(chaincode, policy)
 
     def policy_for(self, chaincode_name: str) -> EndorsementPolicy:
-        try:
-            return self._policies[chaincode_name]
-        except KeyError:
-            raise FabricError(f"chaincode {chaincode_name!r} not deployed") from None
+        return self.channel.policy_for(chaincode_name)
 
     # -- bootstrap (before the clock starts) ---------------------------------------------
 
     def bootstrap(
         self, chaincode: str, function: str, args_list: Sequence[Sequence[str]]
     ) -> None:
-        """Run setup transactions synchronously at time zero.
+        """Run setup transactions synchronously at time zero (§7.2)."""
 
-        Used to populate the ledger before the measured run (§7.2).  Every
-        peer commits the resulting blocks directly, bypassing service times.
-        """
-
-        client = self.clients[0]
-        policy = self.policy_for(chaincode)
-        blocks = []
-        for args in args_list:
-            proposal = client.new_proposal(
-                self.config.topology.channel, chaincode, function, args, policy, 0.0
-            )
-            outcome = client.endorse_at(proposal, [self.anchor_peer])
-            if isinstance(outcome, EndorsementRoundFailure):
-                raise FabricError(f"bootstrap endorsement failed: {outcome.reason}")
-            blocks.extend(self.ordering.submit(outcome.envelope, 0.0))
-        final = self.ordering.flush(0.0)
-        if final is not None:
-            blocks.append(final)
-        for block in blocks:
-            self.orderer_node.archive[block.number] = block
-            for node in self.peer_nodes:
-                node.peer.validate_and_commit(block, commit_time=0.0)
+        self.transport.bootstrap(chaincode, function, args_list)
 
     # -- transaction flow ------------------------------------------------------------------
 
     def endorsing_nodes(self, policy: EndorsementPolicy) -> list[PeerNode]:
-        """The peers a client sends a proposal to.
-
-        ``"all"`` mirrors Caliper/Fabric-SDK defaults (send to every peer);
-        ``"policy"`` contacts one peer per org of a minimal satisfying set.
-        """
-
-        if self.endorse_at == "all":
-            return list(self.peer_nodes)
-        from .client import select_endorsing_orgs
-
-        orgs = select_endorsing_orgs(policy, self.org_names)
-        nodes = []
-        for org in orgs:
-            for node in self.peer_nodes:
-                if node.peer.org_name == org:
-                    nodes.append(node)
-                    break
-        return nodes
+        return self.transport.endorsing_nodes(policy)
 
     def submit_flow(
         self,
@@ -357,42 +148,25 @@ class SimulatedNetwork:
     ) -> Generator:
         """One transaction's client-side lifecycle (run as a process).
 
+        .. deprecated:: use ``Gateway.connect(network).get_contract(...)``
+           and ``Contract.submit_async`` instead — it schedules the same
+           flow and returns a :class:`SubmittedTransaction` handle.
+
         Returns (as the process value) the assembled transaction or the
         endorsement-round failure.  Commit outcomes are observed through
         peer event hubs, not through this flow — the client is open-loop.
         """
 
-        policy = self.policy_for(chaincode)
+        warnings.warn(
+            "SimulatedNetwork.submit_flow is deprecated; use the Gateway API "
+            "(Gateway.connect(network).get_contract(...).submit_async)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        policy = self.channel.policy_for(chaincode)
         proposal = client.new_proposal(
-            self.config.topology.channel, chaincode, function, args, policy,
+            self.channel.name, chaincode, function, args, policy,
             submit_time=self.env.now,
         )
-        nodes = self.endorsing_nodes(policy)
-        reply_box: Store = Store(self.env)
-        for node in nodes:
-            send_after(
-                self.env,
-                node.proposal_box,
-                (proposal, reply_box),
-                self.cost.client_to_peer.sample(self._flow_rng),
-            )
-        responses: list[ProposalResponse] = []
-        failures: list[EndorsementFailure] = []
-        for _ in range(len(nodes)):
-            outcome = yield reply_box.get()
-            if isinstance(outcome, ProposalResponse):
-                responses.append(outcome)
-            else:
-                failures.append(outcome)
-        assembled = client.assemble(proposal, responses, failures)
-        if isinstance(assembled, EndorsementRoundFailure):
-            if on_endorsement_failure is not None:
-                on_endorsement_failure(proposal.tx_id, self.env.now)
-            return assembled
-        send_after(
-            self.env,
-            self.orderer_node.envelope_box,
-            assembled.envelope,
-            self.cost.client_to_orderer.sample(self._flow_rng),
-        )
-        return assembled
+        result = yield from self.transport.flow(client, proposal, on_endorsement_failure)
+        return result

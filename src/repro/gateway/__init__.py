@@ -1,0 +1,46 @@
+"""Gateway API: the transport-agnostic front door to every network.
+
+``Gateway.connect(network)`` → ``gateway.get_contract(name)`` →
+``contract.submit(...)`` / ``contract.evaluate(...)`` — one programming
+surface over the synchronous :class:`~repro.fabric.localnet.LocalNetwork`
+and the discrete-event :class:`~repro.fabric.network.SimulatedNetwork`,
+mirroring the Hyperledger Fabric Gateway SDK.
+"""
+
+from .channel import NUM_CLIENTS, Channel
+from .des import DESTransport
+from .errors import (
+    CommitError,
+    DuplicateTransactionError,
+    EndorseError,
+    EndorsementPolicyError,
+    GatewayError,
+    MVCCConflictError,
+    PhantomReadError,
+    SubmitError,
+    TransactionError,
+    commit_error_for,
+)
+from .gateway import Contract, Gateway
+from .transport import SubmittedTransaction, SyncTransport, Transport
+
+__all__ = [
+    "Channel",
+    "NUM_CLIENTS",
+    "Gateway",
+    "Contract",
+    "SubmittedTransaction",
+    "Transport",
+    "SyncTransport",
+    "DESTransport",
+    "GatewayError",
+    "TransactionError",
+    "EndorseError",
+    "SubmitError",
+    "CommitError",
+    "MVCCConflictError",
+    "PhantomReadError",
+    "EndorsementPolicyError",
+    "DuplicateTransactionError",
+    "commit_error_for",
+]

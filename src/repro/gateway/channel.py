@@ -1,0 +1,163 @@
+"""The channel runtime shared by every network front-end.
+
+Before the Gateway refactor, :class:`~repro.fabric.localnet.LocalNetwork`
+and :class:`~repro.fabric.network.SimulatedNetwork` each owned a private
+copy of the same wiring: membership enrolment, the peer set built through a
+``peer_factory``, the client pool, the chaincode registry plus endorsement
+policies, and commit-event → status tracking.  :class:`Channel` is that
+wiring extracted once; the front-ends differ only in *transport* (how
+proposals, envelopes, and blocks move — see :mod:`repro.gateway.transport`).
+
+A channel knows nothing about time: it holds the pure protocol state and
+answers questions about it (statuses, world state, convergence).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..common.config import NetworkConfig
+from ..common.errors import FabricError
+from ..common.types import Json, TxStatus, ValidationCode
+from ..fabric.block import CommittedBlock
+from ..fabric.chaincode import Chaincode, ChaincodeRegistry
+from ..fabric.client import Client
+from ..fabric.events import statuses_from_block
+from ..fabric.identity import MembershipRegistry
+from ..fabric.ledger import Ledger
+from ..fabric.peer import Peer
+from ..fabric.policy import EndorsementPolicy, or_policy
+from ..fabric.statedb import StateDB
+
+PeerFactory = Callable[..., Peer]
+
+#: Clients enrolled per channel (the paper's Caliper setup uses four).
+NUM_CLIENTS = 4
+
+
+class Channel:
+    """Shared protocol state: peers, clients, chaincodes, and tx statuses."""
+
+    def __init__(
+        self,
+        config: Optional[NetworkConfig] = None,
+        peer_factory: Optional[PeerFactory] = None,
+    ) -> None:
+        self.config = config if config is not None else NetworkConfig()
+        self.membership = MembershipRegistry()
+        self.chaincodes = ChaincodeRegistry()
+        self._policies: dict[str, EndorsementPolicy] = {}
+        self.peer_factory: PeerFactory = peer_factory if peer_factory is not None else Peer
+
+        topology = self.config.topology
+        self.peers: list[Peer] = []
+        for org_name in topology.org_names:
+            for peer_index in range(topology.peers_per_org):
+                identity = self.membership.enroll(org_name, f"peer{peer_index}")
+                self.peers.append(
+                    self.peer_factory(identity, self.membership, self.chaincodes)
+                )
+
+        self.clients = [
+            Client(
+                self.membership.enroll(
+                    topology.org_names[i % topology.num_orgs], f"client{i}"
+                ),
+                self.membership,
+            )
+            for i in range(NUM_CLIENTS)
+        ]
+
+        #: Transaction statuses observed on the anchor peer, by tx ID.
+        self.statuses: dict[str, TxStatus] = {}
+        self.anchor_peer.events.subscribe(self._on_commit)
+
+    # -- topology accessors ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The channel name (Fabric's channel ID)."""
+
+        return self.config.topology.channel
+
+    @property
+    def anchor_peer(self) -> Peer:
+        return self.peers[0]
+
+    @property
+    def org_names(self) -> tuple[str, ...]:
+        return self.config.topology.org_names
+
+    def peers_of(self, org_name: str) -> list[Peer]:
+        return [peer for peer in self.peers if peer.org_name == org_name]
+
+    def client(self, client_index: int = 0) -> Client:
+        return self.clients[client_index % len(self.clients)]
+
+    # -- deployment ----------------------------------------------------------------
+
+    def deploy(self, chaincode: Chaincode, policy: Optional[EndorsementPolicy] = None) -> None:
+        """Deploy a chaincode on the channel with an endorsement policy.
+
+        The default policy is ``OR`` over all organizations, which is what
+        the paper's Caliper benchmarks effectively use.
+        """
+
+        self.chaincodes.deploy(chaincode)
+        self._policies[chaincode.name] = (
+            policy if policy is not None else or_policy(*self.org_names)
+        )
+
+    def policy_for(self, chaincode_name: str) -> EndorsementPolicy:
+        try:
+            return self._policies[chaincode_name]
+        except KeyError:
+            raise FabricError(f"chaincode {chaincode_name!r} not deployed") from None
+
+    # -- status tracking -------------------------------------------------------------
+
+    def _on_commit(self, committed: CommittedBlock, peer_name: str) -> None:
+        for status in statuses_from_block(committed):
+            self.statuses[status.tx_id] = status
+
+    def status_of(self, tx_id: str) -> Optional[ValidationCode]:
+        status = self.statuses.get(tx_id)
+        return status.code if status is not None else None
+
+    def success_count(self) -> int:
+        return sum(1 for status in self.statuses.values() if status.succeeded)
+
+    def failure_count(self) -> int:
+        return sum(1 for status in self.statuses.values() if not status.succeeded)
+
+    # -- world-state inspection -------------------------------------------------------
+
+    def state_of(self, key: str) -> Optional[Json]:
+        """Committed JSON value of ``key`` on the anchor peer."""
+
+        from ..common.serialization import from_bytes
+
+        raw = self.anchor_peer.ledger.state.get_value(key)
+        return from_bytes(raw) if raw is not None else None
+
+    def ledger_of(self, peer_index: int = 0) -> Ledger:
+        return self.peers[peer_index].ledger
+
+    def world_state(self) -> StateDB:
+        return self.anchor_peer.ledger.state
+
+    def world_states_converged(self) -> bool:
+        """True if every peer holds an identical world state."""
+
+        reference = self.anchor_peer.ledger.state.snapshot_versions()
+        for peer in self.peers[1:]:
+            if peer.ledger.state.snapshot_versions() != reference:
+                return False
+            for key in reference:
+                if peer.ledger.state.get_value(key) != self.anchor_peer.ledger.state.get_value(key):
+                    return False
+        return True
+
+    def assert_states_converged(self) -> None:
+        if not self.world_states_converged():
+            raise FabricError("peer world states diverged")

@@ -1,0 +1,227 @@
+"""The discrete-event transport: client flows on the simulation clock.
+
+:class:`DESTransport` is the timed counterpart of
+:class:`~repro.gateway.transport.SyncTransport`.  It wraps the channel's
+peers in :class:`~repro.fabric.nodes.PeerNode` pipelines, runs an
+:class:`~repro.fabric.nodes.OrdererNode`, and models every hop with the
+latency distributions of a :class:`~repro.fabric.costmodel.CostModel`.
+
+``submit_async`` schedules the client-side flow as a simulation process and
+returns immediately; :meth:`SubmittedTransaction.commit_status` then *steps
+the simulation* until the anchor peer has committed the transaction, so
+Gateway code reads identically on both transports.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from ..common.config import NetworkConfig
+from ..common.errors import FabricError
+from ..common.rng import SeedSequence
+from ..common.types import TxStatus, ValidationCode
+from ..fabric.client import Client, EndorsementRoundFailure, select_endorsing_orgs
+from ..fabric.costmodel import CostModel
+from ..fabric.nodes import OrdererNode, PeerNode, send_after
+from ..fabric.orderer import OrderingService
+from ..fabric.policy import EndorsementPolicy
+from ..fabric.transaction import EndorsementFailure, Proposal, ProposalResponse
+from ..sim.engine import Environment
+from ..sim.resources import Store
+from .channel import Channel
+from .errors import CommitError, EndorseError
+from .transport import EndorsementFailureHook, SubmittedTransaction, Transport
+
+
+class DESTransport(Transport):
+    """Timed transport for one channel on a discrete-event environment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        channel: Channel,
+        cost: Optional[CostModel] = None,
+        endorse_at: str = "all",
+        ordering_cls: type[OrderingService] = OrderingService,
+    ) -> None:
+        if endorse_at not in ("all", "policy"):
+            raise FabricError(f"unknown endorsement mode: {endorse_at!r}")
+        self.env = env
+        self.channel = channel
+        self.cost = cost if cost is not None else CostModel()
+        self.endorse_at = endorse_at
+        self._seeds = SeedSequence(channel.config.seed)
+
+        self.peer_nodes: list[PeerNode] = [
+            PeerNode(env, peer, self.cost, self._seeds.stream(f"peer/{peer.name}"))
+            for peer in channel.peers
+        ]
+        self.ordering = ordering_cls(channel.config.orderer)
+        self.orderer_node = OrdererNode(
+            env, self.ordering, self.cost, self._seeds.stream("orderer")
+        )
+        for node in self.peer_nodes:
+            self.orderer_node.attach_peer(node)
+        self._flow_rng = self._seeds.stream("flows")
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    @property
+    def config(self) -> NetworkConfig:
+        return self.channel.config
+
+    @property
+    def anchor_node(self) -> PeerNode:
+        return self.peer_nodes[0]
+
+    def endorsing_nodes(self, policy: EndorsementPolicy) -> list[PeerNode]:
+        """The peers a client sends a proposal to.
+
+        ``"all"`` mirrors Caliper/Fabric-SDK defaults (send to every peer);
+        ``"policy"`` contacts one peer per org of a minimal satisfying set.
+        """
+
+        if self.endorse_at == "all":
+            return list(self.peer_nodes)
+        orgs = select_endorsing_orgs(policy, self.channel.org_names)
+        nodes = []
+        for org in orgs:
+            for node in self.peer_nodes:
+                if node.peer.org_name == org:
+                    nodes.append(node)
+                    break
+        return nodes
+
+    # -- bootstrap (before the clock starts) ---------------------------------------------
+
+    def bootstrap(
+        self, chaincode: str, function: str, args_list: Sequence[Sequence[str]]
+    ) -> None:
+        """Run setup transactions synchronously at time zero.
+
+        Used to populate the ledger before the measured run (§7.2).  Every
+        peer commits the resulting blocks directly, bypassing service times.
+        """
+
+        channel = self.channel
+        client = channel.clients[0]
+        policy = channel.policy_for(chaincode)
+        blocks = []
+        for args in args_list:
+            proposal = client.new_proposal(
+                channel.name, chaincode, function, args, policy, 0.0
+            )
+            outcome = client.endorse_at(proposal, [channel.anchor_peer])
+            if isinstance(outcome, EndorsementRoundFailure):
+                raise FabricError(f"bootstrap endorsement failed: {outcome.reason}")
+            blocks.extend(self.ordering.submit(outcome.envelope, 0.0))
+        final = self.ordering.flush(0.0)
+        if final is not None:
+            blocks.append(final)
+        for block in blocks:
+            self.orderer_node.archive[block.number] = block
+            for peer in channel.peers:
+                peer.validate_and_commit(block, commit_time=0.0)
+
+    # -- transaction flow ------------------------------------------------------------------
+
+    def flow(
+        self,
+        client: Client,
+        proposal: Proposal,
+        on_endorsement_failure: Optional[EndorsementFailureHook] = None,
+    ) -> Generator:
+        """One transaction's client-side lifecycle (run as a process).
+
+        Returns (as the process value) the assembled transaction or the
+        endorsement-round failure.  Commit outcomes are observed through
+        peer event hubs, not through this flow — the client is open-loop.
+        """
+
+        nodes = self.endorsing_nodes(proposal.policy)
+        reply_box: Store = Store(self.env)
+        for node in nodes:
+            send_after(
+                self.env,
+                node.proposal_box,
+                (proposal, reply_box),
+                self.cost.client_to_peer.sample(self._flow_rng),
+            )
+        responses: list[ProposalResponse] = []
+        failures: list[EndorsementFailure] = []
+        for _ in range(len(nodes)):
+            outcome = yield reply_box.get()
+            if isinstance(outcome, ProposalResponse):
+                responses.append(outcome)
+            else:
+                failures.append(outcome)
+        assembled = client.assemble(proposal, responses, failures)
+        if isinstance(assembled, EndorsementRoundFailure):
+            if on_endorsement_failure is not None:
+                on_endorsement_failure(proposal.tx_id, self.env.now)
+            return assembled
+        if assembled.envelope.rwset.is_read_only:
+            # Read transactions are not ordered or committed (paper §3),
+            # matching the synchronous transport.
+            return assembled
+        send_after(
+            self.env,
+            self.orderer_node.envelope_box,
+            assembled.envelope,
+            self.cost.client_to_orderer.sample(self._flow_rng),
+        )
+        return assembled
+
+    def submit_async(
+        self,
+        chaincode: str,
+        function: str,
+        args: Sequence[str],
+        client_index: int = 0,
+        on_endorsement_failure: Optional[EndorsementFailureHook] = None,
+    ) -> SubmittedTransaction:
+        channel = self.channel
+        client = channel.client(client_index)
+        policy = channel.policy_for(chaincode)
+        proposal = client.new_proposal(
+            channel.name, chaincode, function, args, policy, submit_time=self.env.now
+        )
+        process = self.env.process(self.flow(client, proposal, on_endorsement_failure))
+        return SubmittedTransaction(self, proposal.tx_id, self.env.now, flow=process)
+
+    def wait_for(self, tx: SubmittedTransaction) -> TxStatus:
+        """Step the simulation until ``tx`` resolves on the anchor peer."""
+
+        while True:
+            flow = tx.flow
+            if flow is not None and flow.triggered and flow.ok:
+                value = flow.value
+                if isinstance(value, EndorsementRoundFailure):
+                    tx.endorse_failure = value
+                    raise EndorseError(value)
+                if tx._result_bytes is None and value is not None:
+                    tx._result_bytes = value.envelope.chaincode_result
+                if value is not None and value.envelope.rwset.is_read_only:
+                    # Never ordered; resolve like the sync transport does.
+                    # Cached so repeated commit_status() calls stay equal.
+                    tx.ordered = False
+                    tx._readonly_status = TxStatus(
+                        tx_id=tx.tx_id,
+                        code=ValidationCode.VALID,
+                        submit_time=tx.submit_time,
+                        commit_time=self.env.now,
+                    )
+                    return tx._readonly_status
+            status = self.channel.statuses.get(tx.tx_id)
+            if status is not None:
+                return status
+            if self.env.peek() == float("inf"):
+                raise CommitError(
+                    tx.tx_id,
+                    f"simulation ran out of events before {tx.tx_id} resolved",
+                )
+            self.env.step()

@@ -1,0 +1,140 @@
+"""The Gateway API: one programming surface over every transport.
+
+Modelled on the Hyperledger Fabric Gateway SDK: connect to a network, get a
+:class:`Contract`, then ``submit`` / ``evaluate`` / ``submit_async``.  The
+same client code runs unchanged against the synchronous in-process network
+and the discrete-event simulated network — which is the paper's own point
+made at the API layer: FabricCRDT changes *validation*, never the client
+programming model.
+
+Example::
+
+    from repro import Gateway, crdt_network, fabriccrdt_config
+    from repro.workload.iot import IoTChaincode
+
+    network = crdt_network(fabriccrdt_config(max_message_count=25))
+    network.deploy(IoTChaincode())
+
+    gateway = Gateway.connect(network)
+    contract = gateway.get_contract("iot")
+
+    contract.submit("populate", json.dumps({"keys": ["device-1"]}))
+    value = contract.evaluate("read_device", json.dumps({"key": "device-1"}))
+
+Concurrency is expressed with ``submit_async``: transactions submitted
+before any ``commit_status()`` call land in the same block, which is how
+the examples provoke (and FabricCRDT merges) MVCC conflicts::
+
+    txs = [contract.submit_async("record", call) for call in calls]
+    statuses = [tx.commit_status() for tx in txs]   # cuts one shared block
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.types import Json
+from .channel import Channel
+from .errors import GatewayError, commit_error_for
+from .transport import EndorsementFailureHook, SubmittedTransaction, Transport
+
+
+class Gateway:
+    """A connection to one channel through one transport."""
+
+    def __init__(self, channel: Channel, transport: Transport) -> None:
+        self.channel = channel
+        self.transport = transport
+
+    @classmethod
+    def connect(cls, network: object) -> "Gateway":
+        """Connect to any network front-end exposing a channel and transport.
+
+        Works with :class:`~repro.fabric.localnet.LocalNetwork`,
+        :class:`~repro.fabric.network.SimulatedNetwork`, and anything else
+        carrying ``.channel`` / ``.transport`` attributes.
+        """
+
+        channel = getattr(network, "channel", None)
+        transport = getattr(network, "transport", None)
+        if isinstance(network, Transport):
+            channel, transport = network.channel, network
+        if not isinstance(channel, Channel) or not isinstance(transport, Transport):
+            raise GatewayError(
+                f"cannot connect to {type(network).__name__}: "
+                "expected an object with .channel and .transport"
+            )
+        return cls(channel, transport)
+
+    def get_contract(self, chaincode_name: str) -> "Contract":
+        """A handle on one deployed chaincode."""
+
+        return Contract(self.channel, self.transport, chaincode_name)
+
+    def __repr__(self) -> str:
+        return (
+            f"Gateway(channel={self.channel.name!r}, "
+            f"transport={type(self.transport).__name__})"
+        )
+
+
+class Contract:
+    """Submit/evaluate surface for one chaincode on one channel."""
+
+    def __init__(self, channel: Channel, transport: Transport, chaincode_name: str) -> None:
+        self.channel = channel
+        self.transport = transport
+        self.chaincode_name = chaincode_name
+
+    def evaluate(self, function: str, *args: str, client_index: int = 0) -> Json:
+        """Run a read-only invocation and return its deserialized result.
+
+        The invocation is endorsed by the anchor peer but never ordered —
+        Fabric's ``evaluateTransaction``.  Raises
+        :class:`~repro.gateway.errors.EndorseError` if execution fails.
+        """
+
+        return self.transport.evaluate(
+            self.chaincode_name, function, args, client_index=client_index
+        )
+
+    def submit_async(
+        self,
+        function: str,
+        *args: str,
+        client_index: int = 0,
+        on_endorsement_failure: Optional[EndorsementFailureHook] = None,
+    ) -> SubmittedTransaction:
+        """Endorse and order a transaction without waiting for commit.
+
+        Returns a :class:`SubmittedTransaction`; call ``commit_status()`` to
+        resolve its fate.  Transactions submitted back-to-back share blocks
+        exactly as concurrent Fabric submissions do.
+        """
+
+        return self.transport.submit_async(
+            self.chaincode_name,
+            function,
+            args,
+            client_index=client_index,
+            on_endorsement_failure=on_endorsement_failure,
+        )
+
+    def submit(self, function: str, *args: str, client_index: int = 0) -> Json:
+        """Submit a transaction and wait for it to commit successfully.
+
+        Fabric's ``submitTransaction``: raises
+        :class:`~repro.gateway.errors.EndorseError` if endorsement fails and
+        a typed :class:`~repro.gateway.errors.CommitError` subclass (e.g.
+        :class:`~repro.gateway.errors.MVCCConflictError`) if validation
+        rejects the transaction; otherwise returns the chaincode result.
+        """
+
+        tx = self.submit_async(function, *args, client_index=client_index)
+        status = tx.commit_status()
+        if not status.succeeded:
+            raise commit_error_for(status)
+        return tx.result()
+
+    def __repr__(self) -> str:
+        return f"Contract({self.chaincode_name!r} on {self.channel.name!r})"

@@ -3,9 +3,10 @@
 ``run_workload`` executes one (workload spec, network config) pair on the
 discrete-event network exactly the way the paper runs Hyperledger Caliper
 v0.1.0 (§7.2): four open-loop clients submit the configured number of
-transactions at the configured aggregate rate; the ledger is pre-populated
-with every key the workload will read; metrics are collected from the
-anchor peer's commit events until every submitted transaction has resolved.
+transactions at the configured aggregate rate through the Gateway API
+(``Contract.submit_async``); the ledger is pre-populated with every key the
+workload will read; metrics are collected from the anchor peer's commit
+events until every submitted transaction has resolved.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from ..common.config import NetworkConfig, fabric_config, fabriccrdt_config
 from ..core.network import crdt_peer_factory
 from ..fabric.costmodel import CostModel
 from ..fabric.network import SimulatedNetwork
+from ..gateway import Contract, Gateway
 from ..sim.engine import Environment
 from .generator import PlannedTx, generate_plan, keys_to_populate
 from .iot import IOT_CHAINCODE_NAME, IoTChaincode
@@ -53,24 +55,20 @@ def populate_ledger(network: SimulatedNetwork, keys: list[str]) -> None:
 
 def _client_process(
     env: Environment,
-    network: SimulatedNetwork,
+    contract: Contract,
     client_index: int,
     transactions: list[PlannedTx],
     collector: MetricsCollector,
 ) -> Generator:
-    client = network.clients[client_index % len(network.clients)]
     for tx in transactions:
         delay = tx.submit_time - env.now
         if delay > 0:
             yield env.timeout(delay)
-        env.process(
-            network.submit_flow(
-                client,
-                IOT_CHAINCODE_NAME,
-                tx.function,
-                (tx.call_argument(),),
-                on_endorsement_failure=collector.on_endorsement_failure,
-            )
+        contract.submit_async(
+            tx.function,
+            tx.call_argument(),
+            client_index=client_index,
+            on_endorsement_failure=collector.on_endorsement_failure,
         )
 
 
@@ -97,11 +95,12 @@ def run_workload(
     collector = MetricsCollector(env, expected=len(plan))
     network.anchor_peer.events.subscribe(collector.on_block)
 
+    contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
     per_client: dict[int, list[PlannedTx]] = {}
     for tx in plan:
         per_client.setdefault(tx.client, []).append(tx)
     for client_index, transactions in sorted(per_client.items()):
-        env.process(_client_process(env, network, client_index, transactions, collector))
+        env.process(_client_process(env, contract, client_index, transactions, collector))
 
     env.run(until=collector.done)
     if not collector.done.triggered:

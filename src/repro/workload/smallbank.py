@@ -190,11 +190,14 @@ class SmallBankChaincode(Chaincode):
         return {"checking": checking, "savings": savings, "total": checking + savings}
 
 
-def total_money(network, accounts) -> int:
-    """Sum of all balances across ``accounts`` on the anchor peer."""
+def total_money(contract, accounts) -> int:
+    """Sum of all balances across ``accounts`` on the anchor peer.
+
+    ``contract`` is a Gateway :class:`~repro.gateway.gateway.Contract` for
+    the smallbank chaincode.
+    """
 
     total = 0
     for account in accounts:
-        balances = network.query("smallbank", "balance", [account])
-        total += balances["total"]
+        total += contract.evaluate("balance", account)["total"]
     return total

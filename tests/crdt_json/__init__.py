@@ -1,0 +1,1 @@
+"""Tests for crdt_json."""

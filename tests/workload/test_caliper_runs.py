@@ -81,7 +81,8 @@ class TestTopologies:
         from repro.sim import Environment
         from repro.workload.caliper import build_network
         from repro.workload.generator import generate_plan, keys_to_populate
-        from repro.workload.iot import IoTChaincode
+        from repro.gateway import Gateway
+        from repro.workload.iot import IOT_CHAINCODE_NAME, IoTChaincode
         from repro.workload.metrics import MetricsCollector
         from repro.workload.caliper import populate_ledger, _client_process
 
@@ -95,9 +96,10 @@ class TestTopologies:
         per_client = {}
         for tx in plan:
             per_client.setdefault(tx.client, []).append(tx)
+        contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
         for client_index, transactions in sorted(per_client.items()):
             env.process(
-                _client_process(env, network, client_index, transactions, collector)
+                _client_process(env, contract, client_index, transactions, collector)
             )
         env.run(until=collector.done)
         # All six peers converge to identical world states.

@@ -12,10 +12,15 @@ Three storage modes, three different guarantees under concurrency:
 import pytest
 
 from repro.common.types import ValidationCode
+from repro.gateway import Gateway
 from repro.workload.smallbank import SmallBankChaincode, total_money
 
 from ..conftest import small_config
 from repro.core.network import crdt_network, vanilla_network
+
+
+def smallbank_contract(network):
+    return Gateway.connect(network).get_contract("smallbank")
 
 
 def bank_network(crdt_enabled=True):
@@ -43,7 +48,7 @@ class TestSequentialCorrectness:
         network.flush()
         assert network.query("smallbank", "balance", ["alice"])["checking"] == 70
         assert network.query("smallbank", "balance", ["bob"])["checking"] == 130
-        assert total_money(network, accounts) == 600
+        assert total_money(smallbank_contract(network), accounts) == 600
 
     @pytest.mark.parametrize("mode", ["plain", "pn-counter"])
     def test_amalgamate(self, mode):
@@ -97,7 +102,7 @@ class TestPlainModeUnderConcurrency:
             [("alice", "bob", 10), ("alice", "carol", 20), ("bob", "carol", 5)],
         )
         assert ValidationCode.MVCC_READ_CONFLICT in codes  # some fail...
-        assert total_money(network, accounts) == 600  # ...but money conserved
+        assert total_money(smallbank_contract(network), accounts) == 600  # ...but money conserved
 
 
 class TestNaiveCrdtModeUnderConcurrency:
@@ -112,7 +117,7 @@ class TestNaiveCrdtModeUnderConcurrency:
         assert all(code is ValidationCode.VALID for code in codes)
         # Both payments debited alice from the same 100 snapshot: one debit
         # is lost in the LWW merge while both credits stand (or vice versa).
-        assert total_money(network, accounts) != 600
+        assert total_money(smallbank_contract(network), accounts) != 600
 
     def test_double_spend_succeeds(self):
         network = bank_network()
@@ -138,7 +143,7 @@ class TestPnCounterModeUnderConcurrency:
             [("alice", "bob", 10), ("alice", "carol", 20), ("bob", "carol", 5)],
         )
         assert all(code is ValidationCode.VALID for code in codes)
-        assert total_money(network, accounts) == 600
+        assert total_money(smallbank_contract(network), accounts) == 600
         assert network.query("smallbank", "balance", ["alice"])["checking"] == 70
         assert network.query("smallbank", "balance", ["carol"])["checking"] == 125
 
@@ -155,7 +160,7 @@ class TestPnCounterModeUnderConcurrency:
         assert all(code is ValidationCode.VALID for code in codes)
         alice = network.query("smallbank", "balance", ["alice"])["checking"]
         assert alice == -40  # overdrawn, but globally consistent
-        assert total_money(network, ["alice", "b", "c"]) == 360
+        assert total_money(smallbank_contract(network), ["alice", "b", "c"]) == 360
 
     def test_peers_converge(self):
         network = bank_network()
@@ -164,4 +169,4 @@ class TestPnCounterModeUnderConcurrency:
             network, "pn-counter", [("alice", "bob", 10), ("bob", "alice", 10)]
         )
         network.assert_states_converged()
-        assert total_money(network, accounts) == 600
+        assert total_money(smallbank_contract(network), accounts) == 600

@@ -106,7 +106,8 @@ class TestExportAndSummary:
         from repro.sim import Environment
         from repro.workload.caliper import build_network, populate_ledger, _client_process
         from repro.workload.generator import generate_plan, keys_to_populate
-        from repro.workload.iot import IoTChaincode
+        from repro.gateway import Gateway
+        from repro.workload.iot import IOT_CHAINCODE_NAME, IoTChaincode
         from repro.workload.metrics import MetricsCollector
         from repro.workload.spec import WorkloadSpec
 
@@ -126,8 +127,9 @@ class TestExportAndSummary:
         per_client = {}
         for tx in plan:
             per_client.setdefault(tx.client, []).append(tx)
+        contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
         for client_index, txs in sorted(per_client.items()):
-            env.process(_client_process(env, network, client_index, txs, collector))
+            env.process(_client_process(env, contract, client_index, txs, collector))
         env.run(until=collector.done)
 
         summary = summarize_run(collector.statuses)
