@@ -13,42 +13,51 @@ land in the *same* section.  *Streams* of contributions are lists — list
 items accumulate.  Here ``sections`` is a map keyed by heading, and each
 section's ``paragraphs`` is a list.
 
+The chaincode is written in the ``repro.contract`` style: decorated
+handlers, and partial updates buffered through a ``ctx.crdt.doc`` handle
+(``merge_patch``) instead of hand-built ``put_crdt`` payloads.
+
 Run:  python examples/collaborative_editing.py
 """
 
-from repro import Chaincode, Gateway, ShimStub
+from repro import Gateway
 from repro.common.config import CRDTConfig, NetworkConfig, OrdererConfig
 from repro.common.types import Json
+from repro.contract import Context, Contract, query, transaction
 from repro.core.network import crdt_network
 
 
-class DocsChaincode(Chaincode):
+class DocsChaincode(Contract):
     name = "docs"
 
-    def fn_create(self, stub: ShimStub, doc_id: str, title: str) -> Json:
-        stub.put_state(f"doc/{doc_id}", {"title": title, "sections": {}})
+    @transaction
+    def create(self, ctx: Context, doc_id: str, title: str) -> Json:
+        ctx.state.put(f"doc/{doc_id}", {"title": title, "sections": {}})
         return {"created": doc_id}
 
-    def fn_add_section(self, stub: ShimStub, doc_id: str, section: str,
-                       author: str) -> Json:
-        stub.get_state(f"doc/{doc_id}")
-        stub.put_crdt(
-            f"doc/{doc_id}",
-            {"sections": {section: {"by": author, "paragraphs": []}}},
+    @transaction
+    def add_section(self, ctx: Context, doc_id: str, section: str,
+                    author: str) -> Json:
+        document = ctx.crdt.doc(f"doc/{doc_id}")
+        document.get()  # record the read; merging ignores the version
+        document.merge_patch(
+            {"sections": {section: {"by": author, "paragraphs": []}}}
         )
         return {"added": section}
 
-    def fn_write_paragraph(self, stub: ShimStub, doc_id: str, section: str,
-                           text: str, author: str) -> Json:
-        stub.get_state(f"doc/{doc_id}")
-        stub.put_crdt(
-            f"doc/{doc_id}",
-            {"sections": {section: {"paragraphs": [f"{text} —{author}"]}}},
+    @transaction
+    def write_paragraph(self, ctx: Context, doc_id: str, section: str,
+                        text: str, author: str) -> Json:
+        document = ctx.crdt.doc(f"doc/{doc_id}")
+        document.get()
+        document.merge_patch(
+            {"sections": {section: {"paragraphs": [f"{text} —{author}"]}}}
         )
         return {"wrote": section}
 
-    def fn_read(self, stub: ShimStub, doc_id: str) -> Json:
-        return stub.get_state(f"doc/{doc_id}")
+    @query
+    def read(self, ctx: Context, doc_id: str) -> Json:
+        return ctx.state.get(f"doc/{doc_id}")
 
 
 def main() -> None:

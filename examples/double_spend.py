@@ -12,27 +12,29 @@ Run:  python examples/double_spend.py
 
 from repro import Gateway, ValidationCode, crdt_network, fabric_config, fabriccrdt_config, vanilla_network
 from repro.common.types import Json
-from repro.fabric.chaincode import Chaincode, ShimStub
+from repro.contract import Context, Contract, transaction
 
 
-class NaiveAssetChaincode(Chaincode):
+class NaiveAssetChaincode(Contract):
     """An asset registry that (unwisely) allows CRDT-mode transfers."""
 
     name = "assets"
 
-    def fn_mint(self, stub: ShimStub, asset_id: str, owner: str) -> Json:
-        stub.put_state(asset_id, {"owner": owner})
+    @transaction
+    def mint(self, ctx: Context, asset_id: str, owner: str) -> Json:
+        ctx.state.put(asset_id, {"owner": owner})
         return {"minted": asset_id}
 
-    def fn_transfer(self, stub: ShimStub, asset_id: str, seller: str,
-                    buyer: str, mode: str) -> Json:
-        asset = stub.get_state(asset_id)
+    @transaction
+    def transfer(self, ctx: Context, asset_id: str, seller: str,
+                 buyer: str, mode: str) -> Json:
+        asset = ctx.state.get(asset_id)
         if asset is None or asset["owner"] != seller:
             raise ValueError(f"{seller} does not own {asset_id}")
         if mode == "crdt":
-            stub.put_crdt(asset_id, {"owner": buyer})
+            ctx.crdt.doc(asset_id).merge_patch({"owner": buyer})
         else:
-            stub.put_state(asset_id, {"owner": buyer})
+            ctx.state.put(asset_id, {"owner": buyer})
         return {"to": buyer}
 
 

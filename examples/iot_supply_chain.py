@@ -13,47 +13,50 @@ Run:  python examples/iot_supply_chain.py
 
 import random
 
-from repro import Chaincode, Gateway, ShimStub
+from repro import Gateway
 from repro.common.types import Json
+from repro.contract import Context, Contract, query, transaction
 
 
-class ColdChainChaincode(Chaincode):
+class ColdChainChaincode(Contract):
     """Shipment registry + CRDT-merged sensor readings."""
 
     name = "coldchain"
 
-    def fn_register(self, stub: ShimStub, shipment_id: str, product: str,
-                    max_temp: str) -> Json:
-        stub.put_state(
+    @transaction
+    def register(self, ctx: Context, shipment_id: str, product: str,
+                 max_temp: str) -> Json:
+        ctx.state.put(
             f"shipment/{shipment_id}",
             {"product": product, "maxTemp": max_temp, "readings": []},
         )
         return {"registered": shipment_id}
 
-    def fn_sense(self, stub: ShimStub, shipment_id: str, sensor: str,
-                 kind: str, value: str, timestamp: str) -> Json:
-        """One sensor reading.  put_crdt means concurrent sensors merge."""
+    @transaction
+    def sense(self, ctx: Context, shipment_id: str, sensor: str,
+              kind: str, value: str, timestamp: str) -> Json:
+        """One sensor reading.  The doc handle means concurrent sensors merge."""
 
-        key = f"shipment/{shipment_id}"
-        current = stub.get_state(key)  # recorded read; CRDT path ignores version
+        shipment = ctx.crdt.doc(f"shipment/{shipment_id}")
+        current = shipment.get()  # recorded read; the CRDT path ignores versions
         if current is None:
             raise ValueError(f"unknown shipment {shipment_id}")
-        stub.put_crdt(
-            key,
+        shipment.merge_patch(
             {
                 "product": current["product"],
                 "maxTemp": current["maxTemp"],
                 "readings": [
                     {"sensor": sensor, "kind": kind, "value": value, "ts": timestamp}
                 ],
-            },
+            }
         )
         return {"recorded": True}
 
-    def fn_audit(self, stub: ShimStub, max_temp: str) -> Json:
+    @query
+    def audit(self, ctx: Context, max_temp: str) -> Json:
         """Rich query: shipments whose limit is below the given threshold."""
 
-        rows = stub.get_query_result({"maxTemp": {"$lte": max_temp}})
+        rows = ctx.state.query({"maxTemp": {"$lte": max_temp}})
         return {"matches": [key for key, _ in rows]}
 
 

@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Global voting with counter CRDTs — the paper's future-work extension (§9).
 
-Votes are G-Counter increments written through ``put_crdt`` as serialized
-CRDT envelopes.  The FabricCRDT committer recognizes envelopes and merges
+Each vote is one line of chaincode — ``ctx.crdt.counter(key).incr(actor=
+voter)`` — and the handle does the rest: it reads the committed G-Counter
+envelope, applies the increment, and buffers the result through
+``put_crdt``.  The FabricCRDT committer recognizes envelopes and merges
 them with the counter's own join (per-actor maximum), so any number of
 concurrent votes in one block commit without conflicts and without losing a
 single ballot — the built-in-counters behaviour Fabric's FAB-10711 proposal

@@ -7,6 +7,9 @@ Permissioned Blockchains* (Middleware '19).  The package provides:
   (execute-order-validate, MVCC, endorsement policies, block cutting);
 * :mod:`repro.crdt` — a CRDT library, including the op-based JSON CRDT the
   paper builds on;
+* :mod:`repro.contract` — the chaincode authoring surface: ``Contract``
+  base class with ``@transaction`` / ``@query`` decorated handlers and
+  typed CRDT state handles (``ctx.crdt.counter(key).incr()``);
 * :mod:`repro.core` — FabricCRDT itself (Algorithms 1 and 2, the CRDT peer);
 * :mod:`repro.gateway` — the Gateway API, one transport-agnostic
   submit/evaluate surface over the synchronous and discrete-event networks;
@@ -37,6 +40,7 @@ from .common.config import (
     fabriccrdt_config,
 )
 from .common.types import TxStatus, ValidationCode, Version
+from .contract import Context, Contract as ContractBase, query, transaction
 from .core.network import crdt_network, vanilla_network
 from .core.peer import CRDTPeer
 from .fabric.chaincode import Chaincode, ShimStub
@@ -72,6 +76,10 @@ __all__ = [
     "LocalNetwork",
     "Chaincode",
     "ShimStub",
+    "ContractBase",
+    "Context",
+    "transaction",
+    "query",
     "Gateway",
     "Contract",
     "Channel",

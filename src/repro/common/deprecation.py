@@ -1,0 +1,33 @@
+"""Once-per-process deprecation warnings for legacy API shims.
+
+The legacy surfaces (``Chaincode``/``fn_`` dispatch, ``LocalNetwork.invoke``
+/ ``.query``, ``SimulatedNetwork.submit_flow``) sit on hot paths — a
+workload run crosses them thousands of times.  Emitting a warning per call
+would either drown the console or depend on the interpreter's default
+dedup filters, which test harnesses routinely reset.  ``warn_once`` latches
+each shim explicitly: the first crossing warns, every later one is silent,
+independent of the active warning filters.
+
+``reset_deprecation_warnings`` re-arms the latches (used by tests).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_warned: set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a :class:`DeprecationWarning` once per ``key``."""
+
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Re-arm every latch (test isolation helper)."""
+
+    _warned.clear()

@@ -1,0 +1,99 @@
+"""The per-invocation transaction context handed to contract handlers.
+
+``Context`` wraps the recording shim stub for one endorsement and exposes it
+in layers:
+
+* ``ctx.tx_id`` / ``ctx.timestamp`` — transaction identity;
+* ``ctx.state`` — vanilla world state (get / put / delete / range / rich
+  query / history), fully MVCC-protected exactly like the raw shim;
+* ``ctx.crdt`` — typed CRDT handles (:mod:`repro.contract.handles`), the
+  FabricCRDT authoring surface: handle mutations read the committed
+  envelope, apply the operation through the :mod:`repro.crdt` classes, and
+  buffer the result through ``put_crdt`` for commit-time merging;
+* ``ctx.events`` — the chaincode event (Fabric's ``SetEvent``), surfaced to
+  gateway clients with the commit notification;
+* ``ctx.stub`` — the raw shim, for anything not otherwise covered.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..common.types import Json
+from ..fabric.chaincode import ShimStub
+from .handles import CrdtFactory
+
+
+class StateAccessor:
+    """Vanilla (MVCC-validated) world-state access for one invocation."""
+
+    def __init__(self, stub: ShimStub) -> None:
+        self._stub = stub
+
+    def get(self, key: str) -> Optional[Json]:
+        """Committed JSON value of ``key`` (``None`` if absent)."""
+
+        return self._stub.get_state(key)
+
+    def put(self, key: str, value: Json) -> None:
+        """Buffer a plain (MVCC-protected) write."""
+
+        self._stub.put_state(key, value)
+
+    def delete(self, key: str) -> None:
+        self._stub.del_state(key)
+
+    def range(self, start_key: str, end_key: str) -> list[tuple[str, Json]]:
+        """Phantom-protected range scan over ``[start_key, end_key)``."""
+
+        return self._stub.get_state_by_range(start_key, end_key)
+
+    def by_partial_composite_key(
+        self, object_type: str, attributes: Sequence[str] = ()
+    ) -> list[tuple[str, Json]]:
+        return self._stub.get_state_by_partial_composite_key(object_type, attributes)
+
+    def query(self, selector: dict, limit: Optional[int] = None) -> list[tuple[str, Json]]:
+        """CouchDB-style rich query (no phantom protection, like Fabric)."""
+
+        return self._stub.get_query_result(selector, limit)
+
+    def history(self, key: str) -> list[dict]:
+        return self._stub.get_history_for_key(key)
+
+
+class EventRegister:
+    """Groundwork for chaincode events: at most one per transaction."""
+
+    def __init__(self, stub: ShimStub) -> None:
+        self._stub = stub
+
+    def set(self, name: str, payload: Json = None) -> None:
+        """Set this transaction's chaincode event (replaces any earlier one)."""
+
+        self._stub.set_event(name, payload)
+
+    @property
+    def current(self):
+        return self._stub.event
+
+
+class Context:
+    """Everything one contract handler invocation can see and do."""
+
+    def __init__(self, stub: ShimStub) -> None:
+        self.stub = stub
+        self.state = StateAccessor(stub)
+        self.crdt = CrdtFactory(stub)
+        self.events = EventRegister(stub)
+
+    @property
+    def tx_id(self) -> str:
+        return self.stub.tx_id
+
+    @property
+    def timestamp(self) -> float:
+        return self.stub.timestamp
+
+    def __repr__(self) -> str:
+        return f"Context(tx_id={self.tx_id!r})"

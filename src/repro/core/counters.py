@@ -2,12 +2,12 @@
 
 The paper's prototype merges JSON CRDTs only and names counter/map/graph
 CRDTs as future work; Fabric's own FAB-10711 proposal sketched built-in
-parallel increments.  This module delivers that: chaincode helpers that
-store state-based CRDT *envelopes* (``{"crdt": ..., "state": ...}``) through
-``put_crdt``.  The FabricCRDT committer recognizes envelopes
-(:func:`repro.core.jsonmerge.is_crdt_envelope`) and merges them with the
-type's own ``merge`` — so any number of concurrent increments commit without
-conflicts and without losing updates.
+parallel increments.  The real machinery now lives in
+:mod:`repro.contract.handles` — typed state handles behind ``ctx.crdt`` —
+and this module is a **thin compatibility layer**: the original
+stub-oriented helpers (``increment_counter`` and friends) delegate to the
+same handles, so code written against the old surface keeps its exact
+behaviour while new code uses ``ctx.crdt.counter(key).incr()`` directly.
 """
 
 from __future__ import annotations
@@ -16,12 +16,11 @@ from typing import Optional
 
 from ..common.errors import ChaincodeError
 from ..common.types import Json
+from ..contract import Context, Contract, query, transaction
+from ..contract.handles import CounterHandle, PNCounterHandle, SetHandle
 from ..crdt.base import StateCRDT
-from ..crdt.gcounter import GCounter
-from ..crdt.orset import ORSet
-from ..crdt.pncounter import PNCounter
 from ..crdt.registry import crdt_from_dict_envelope, crdt_to_dict_envelope
-from ..fabric.chaincode import Chaincode, ShimStub
+from ..fabric.chaincode import ShimStub
 
 
 def read_crdt(stub: ShimStub, key: str) -> Optional[StateCRDT]:
@@ -44,57 +43,47 @@ def write_crdt(stub: ShimStub, key: str, value: StateCRDT) -> None:
 def increment_counter(stub: ShimStub, key: str, actor: str, amount: int = 1) -> int:
     """Increment a grow-only counter at ``key`` by ``amount``.
 
-    Reads the committed counter (if any), applies the local increment under
-    ``actor``, and writes the envelope back with ``put_crdt``.  Concurrent
-    increments in the same block are merged per-actor-maximum, so no
-    increment is ever lost.  Returns the locally observed new total.
+    Compatibility wrapper over :class:`~repro.contract.handles.CounterHandle`;
+    returns the locally observed new total.
     """
 
-    if amount < 0:
-        raise ChaincodeError("grow-only counters cannot be decremented; use pn counters")
-    current = read_crdt(stub, key)
-    counter = current if isinstance(current, GCounter) else GCounter()
-    counter = counter.increment(actor, amount)
-    write_crdt(stub, key, counter)
-    return counter.value()
+    return CounterHandle(stub, key).incr(amount, actor=actor)
 
 
 def adjust_pn_counter(stub: ShimStub, key: str, actor: str, delta: int) -> int:
     """Increment/decrement a PN-Counter at ``key`` by ``delta``."""
 
-    current = read_crdt(stub, key)
-    counter = current if isinstance(current, PNCounter) else PNCounter()
-    counter = counter.increment(actor, delta) if delta >= 0 else counter.decrement(actor, -delta)
-    write_crdt(stub, key, counter)
-    return counter.value()
+    return PNCounterHandle(stub, key).adjust(delta, actor=actor)
 
 
 def add_to_set(stub: ShimStub, key: str, element: Json, tag: str) -> None:
     """Add ``element`` to an OR-Set at ``key`` under a unique ``tag``."""
 
-    current = read_crdt(stub, key)
-    orset = current if isinstance(current, ORSet) else ORSet()
-    write_crdt(stub, key, orset.add(element, tag))
+    SetHandle(stub, key).add(element, tag=tag)
 
 
-class VotingChaincode(Chaincode):
+class VotingChaincode(Contract):
     """A global voting application — one of the paper's motivating use cases.
 
-    ``vote(ballot, option, voter)`` bumps a per-option G-Counter; concurrent
-    votes for the same option merge instead of conflicting.  ``tally`` reads
-    all options of a ballot with a range scan.
+    ``vote(ballot, option, voter)`` bumps a per-option G-Counter through a
+    ``ctx.crdt.counter`` handle; concurrent votes for the same option merge
+    instead of conflicting.  ``tally`` reads all options of a ballot with a
+    range scan.
     """
 
     name = "voting"
 
-    def fn_vote(self, stub: ShimStub, ballot: str, option: str, voter: str) -> Json:
-        total = increment_counter(stub, f"vote/{ballot}/{option}", actor=voter)
+    @transaction
+    def vote(self, ctx: Context, ballot: str, option: str, voter: str) -> Json:
+        total = ctx.crdt.counter(f"vote/{ballot}/{option}").incr(actor=voter)
+        ctx.events.set("voted", {"ballot": ballot, "option": option})
         return {"ballot": ballot, "option": option, "observed_total": total}
 
-    def fn_tally(self, stub: ShimStub, ballot: str) -> Json:
+    @query
+    def tally(self, ctx: Context, ballot: str) -> Json:
         prefix = f"vote/{ballot}/"
         results = {}
-        for key, value in stub.get_state_by_range(prefix, prefix + "\x7f"):
+        for key, value in ctx.state.range(prefix, prefix + "\x7f"):
             counter = crdt_from_dict_envelope(value)
             results[key[len(prefix):]] = counter.value()
         return results

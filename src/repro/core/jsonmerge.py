@@ -20,7 +20,7 @@ from ..common.errors import MergeTypeError, UnsupportedValueError
 from ..common.serialization import from_bytes, to_bytes
 from ..crdt.base import StateCRDT
 from ..crdt.json import JsonDocument, MergeOptions, Operation, merge_json
-from ..crdt.registry import crdt_from_dict_envelope, crdt_to_dict_envelope
+from ..crdt.registry import crdt_from_dict_envelope, crdt_to_dict_envelope, is_dict_envelope
 
 
 def merge_options(config: CRDTConfig) -> MergeOptions:
@@ -33,9 +33,16 @@ def merge_options(config: CRDTConfig) -> MergeOptions:
 
 
 def is_crdt_envelope(value: object) -> bool:
-    """True if ``value`` is a serialized state-CRDT envelope."""
+    """True if ``value`` is a serialized state-CRDT envelope.
 
-    return isinstance(value, dict) and set(value.keys()) == {"crdt", "state"}
+    Recognition is by the explicit ``$fabriccrdt`` marker (new format) or,
+    for envelopes committed before the marker existed, by the exact
+    ``{"crdt", "state"}`` key set with a *registered* type name — so user
+    JSON that merely looks envelope-shaped merges as a plain JSON CRDT
+    instead of being misread as CRDT machinery.
+    """
+
+    return is_dict_envelope(value)
 
 
 @dataclass

@@ -24,6 +24,12 @@ from ..common.serialization import from_bytes, to_bytes
 
 S = TypeVar("S", bound="StateCRDT")
 
+#: Explicit envelope marker key: its presence (not the exact key set)
+#: identifies a serialized state-CRDT envelope in the world state.
+ENVELOPE_MARKER = "$fabriccrdt"
+#: Envelope format version written by this codebase.
+ENVELOPE_VERSION = 1
+
 
 class StateCRDT:
     """Abstract state-based CRDT."""
@@ -56,9 +62,11 @@ class StateCRDT:
         raise NotImplementedError
 
     def to_bytes(self) -> bytes:
-        """Canonical envelope bytes: ``{"crdt": type_name, "state": ...}``."""
+        """Canonical envelope bytes (marker + type tag + state payload)."""
 
-        return to_bytes({"crdt": self.type_name, "state": self.to_dict()})
+        return to_bytes(
+            {ENVELOPE_MARKER: ENVELOPE_VERSION, "crdt": self.type_name, "state": self.to_dict()}
+        )
 
     @classmethod
     def from_bytes(cls: type[S], data: bytes) -> S:

@@ -1,10 +1,18 @@
 """Registry mapping CRDT type tags to classes, plus envelope (de)serialization.
 
 The world state stores CRDT values as canonical-JSON envelopes
-``{"crdt": <type_name>, "state": <payload>}``.  The registry restores the
-right class from an envelope without callers having to know the type up
-front — which is exactly what FabricCRDT's commit path needs when it meets a
-flagged CRDT key-value of unknown type (Algorithm 1, line 9).
+``{"$fabriccrdt": 1, "crdt": <type_name>, "state": <payload>}``.  The
+``$fabriccrdt`` key is an explicit marker: committers and shims recognise an
+envelope by its presence (plus validation) instead of sniffing the exact
+key set, so ordinary user JSON that happens to carry ``crdt``/``state`` keys
+is never mistaken for CRDT machinery.  Envelopes written before the marker
+existed (exactly ``{"crdt": ..., "state": ...}``) are still read, provided
+the type name is actually registered.
+
+The registry restores the right class from an envelope without callers
+having to know the type up front — which is exactly what FabricCRDT's commit
+path needs when it meets a flagged CRDT key-value of unknown type
+(Algorithm 1, line 9).
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ from typing import Callable
 
 from ..common.errors import MergeTypeError
 from ..common.serialization import from_bytes, to_bytes
-from .base import StateCRDT
+from .base import ENVELOPE_MARKER, ENVELOPE_VERSION, StateCRDT
 
 _REGISTRY: dict[str, type[StateCRDT]] = {}
 
@@ -40,14 +48,42 @@ def registered_types() -> dict[str, type[StateCRDT]]:
     return dict(_REGISTRY)
 
 
+def is_dict_envelope(value: object) -> bool:
+    """True if ``value`` is a serialized state-CRDT envelope.
+
+    New-format envelopes are recognised by the explicit ``$fabriccrdt``
+    marker; legacy envelopes (written before the marker existed) by the
+    exact ``{"crdt", "state"}`` key set *and* a registered type name, so
+    arbitrary user JSON shaped like an envelope is treated as plain data.
+    """
+
+    if not isinstance(value, dict):
+        return False
+    if ENVELOPE_MARKER in value:
+        return "crdt" in value and "state" in value
+    # Legacy (pre-marker) envelopes: strict shape + a known type tag.
+    if set(value.keys()) != {"crdt", "state"}:
+        return False
+    type_name = value["crdt"]
+    if not isinstance(type_name, str):
+        return False
+    _ensure_builtins()
+    return type_name in _REGISTRY
+
+
 def crdt_to_dict_envelope(value: StateCRDT) -> dict:
-    return {"crdt": value.type_name, "state": value.to_dict()}
+    return {ENVELOPE_MARKER: ENVELOPE_VERSION, "crdt": value.type_name, "state": value.to_dict()}
 
 
 def crdt_from_dict_envelope(envelope: dict) -> StateCRDT:
     _ensure_builtins()
     if not isinstance(envelope, dict) or "crdt" not in envelope:
         raise MergeTypeError(f"not a CRDT envelope: {envelope!r:.120}")
+    marker = envelope.get(ENVELOPE_MARKER)
+    if marker is not None and marker != ENVELOPE_VERSION:
+        raise MergeTypeError(f"unsupported envelope version: {marker!r}")
+    if "state" not in envelope:
+        raise MergeTypeError(f"envelope missing state payload: {envelope!r:.120}")
     type_name = envelope["crdt"]
     cls = _REGISTRY.get(type_name)
     if cls is None:

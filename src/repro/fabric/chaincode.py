@@ -24,8 +24,9 @@ Fabric semantics preserved deliberately:
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, Sequence, runtime_checkable
 
+from ..common.deprecation import warn_once
 from ..common.errors import ChaincodeError
 from ..common.hashing import sha256
 from ..common.serialization import from_bytes, to_bytes
@@ -38,6 +39,9 @@ from ..common.types import (
     WriteItem,
 )
 from .statedb import StateDB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .transaction import ChaincodeEvent
 
 #: Separators used by Fabric for composite keys: a namespace sentinel that
 #: cannot appear in ordinary keys, and a per-attribute delimiter.
@@ -102,6 +106,7 @@ class ShimStub:
         self._writes: dict[str, WriteItem] = {}  # key -> last write wins
         self._write_order: list[str] = []
         self._range_queries: list[RangeQueryInfo] = []
+        self._event: Optional["ChaincodeEvent"] = None
 
     # -- reads -------------------------------------------------------------------
 
@@ -224,6 +229,27 @@ class ShimStub:
         if not key or not isinstance(key, str):
             raise ChaincodeError(f"invalid state key: {key!r}")
 
+    # -- events ------------------------------------------------------------------
+
+    def set_event(self, name: str, payload: Json = None) -> None:
+        """Set this invocation's chaincode event (Fabric's ``SetEvent``).
+
+        Like Fabric, at most one event travels per transaction — a second
+        call replaces the first.  The event is part of the endorsed payload
+        (all endorsers must produce the same one) and is surfaced to the
+        client with the commit notification.
+        """
+
+        from .transaction import ChaincodeEvent
+
+        if not name or not isinstance(name, str):
+            raise ChaincodeError(f"invalid event name: {name!r}")
+        self._event = ChaincodeEvent(name, payload)
+
+    @property
+    def event(self) -> Optional["ChaincodeEvent"]:
+        return self._event
+
     # -- result -------------------------------------------------------------------
 
     def build_rwset(self) -> ReadWriteSet:
@@ -234,38 +260,107 @@ class ShimStub:
         )
 
 
-class Chaincode:
-    """Base class for chaincode (smart contracts).
+@runtime_checkable
+class DeployableChaincode(Protocol):
+    """What a channel needs from deployed chaincode, whatever its style.
 
-    Subclasses implement :meth:`invoke`; the return value (any JSON) becomes
-    the chaincode result carried in the proposal response.
+    Satisfied by old-style :class:`Chaincode` subclasses and by new-style
+    :class:`repro.contract.Contract` subclasses alike.
+    """
+
+    name: str
+
+    def invoke(self, stub: ShimStub, function: str, args: tuple[str, ...]) -> Json:
+        ...  # pragma: no cover - protocol definition
+
+
+class Chaincode:
+    """Base class for raw-shim chaincode (smart contracts).
+
+    .. deprecated:: prefer :class:`repro.contract.Contract` with
+       ``@transaction`` / ``@query`` decorated handlers — an explicit
+       registry with typed argument coercion instead of ``fn_`` name
+       dispatch.  This class remains as a compatibility shim; its ``fn_``
+       dispatch emits a :class:`DeprecationWarning` once per process.
+
+    Subclasses either define ``fn_<function>`` handlers or override
+    :meth:`invoke` wholesale; the return value (any JSON) becomes the
+    chaincode result carried in the proposal response.
     """
 
     #: Chaincode name used in proposals.
     name: str = "chaincode"
 
     def invoke(self, stub: ShimStub, function: str, args: tuple[str, ...]) -> Json:
-        handler = getattr(self, f"fn_{function}", None)
+        warn_once(
+            "chaincode-fn-dispatch",
+            "Chaincode's fn_-prefix dispatch is deprecated; subclass "
+            "repro.contract.Contract and decorate handlers with @transaction/@query",
+        )
+        handler = None
+        if _is_public_function_name(function):
+            handler = getattr(self, f"fn_{function}", None)
         if handler is None:
-            raise ChaincodeError(f"{self.name}: unknown function {function!r}")
+            raise ChaincodeError(
+                f"{self.name}: unknown function {function!r}; "
+                f"available: {', '.join(self.transaction_names()) or '(none)'}"
+            )
         return handler(stub, *args)
+
+    @classmethod
+    def transaction_names(cls) -> tuple[str, ...]:
+        """The invokable function names (``fn_`` handlers, public only)."""
+
+        return tuple(
+            sorted(
+                name[len("fn_"):]
+                for name in dir(cls)
+                if name.startswith("fn_")
+                and _is_public_function_name(name[len("fn_"):])
+                and callable(getattr(cls, name))
+            )
+        )
 
     def init(self, stub: ShimStub) -> None:
         """Optional: populate initial state (called on deployment)."""
 
 
+def _is_public_function_name(function: str) -> bool:
+    """Only plain public identifiers are dispatchable.
+
+    Rejects ``_private`` names (which would otherwise reach ``fn__private``
+    handlers) and anything that is not an identifier, so proposal-supplied
+    function strings can never address internal attributes.
+    """
+
+    return (
+        isinstance(function, str)
+        and function.isidentifier()
+        and not function.startswith("_")
+    )
+
+
 class ChaincodeRegistry:
-    """Chaincodes deployed on a channel, by name."""
+    """Chaincodes deployed on a channel, by name.
+
+    Accepts anything satisfying :class:`DeployableChaincode` — old-style
+    ``Chaincode`` subclasses and new-style ``repro.contract.Contract``
+    subclasses share one registry.
+    """
 
     def __init__(self) -> None:
-        self._chaincodes: dict[str, Chaincode] = {}
+        self._chaincodes: dict[str, DeployableChaincode] = {}
 
-    def deploy(self, chaincode: Chaincode) -> None:
-        if not chaincode.name:
+    def deploy(self, chaincode: DeployableChaincode) -> None:
+        if not getattr(chaincode, "name", None):
             raise ChaincodeError("chaincode must have a name")
+        if not callable(getattr(chaincode, "invoke", None)):
+            raise ChaincodeError(
+                f"cannot deploy {type(chaincode).__name__}: no invoke(stub, function, args)"
+            )
         self._chaincodes[chaincode.name] = chaincode
 
-    def get(self, name: str) -> Chaincode:
+    def get(self, name: str) -> DeployableChaincode:
         try:
             return self._chaincodes[name]
         except KeyError:

@@ -23,7 +23,7 @@ from .transaction import (
     Proposal,
     ProposalResponse,
     TransactionEnvelope,
-    rwset_hash,
+    endorsed_payload_bytes,
 )
 
 
@@ -150,7 +150,9 @@ class Client:
         groups: dict[bytes, list[ProposalResponse]] = {}
         order: list[bytes] = []
         for response in responses:
-            key = rwset_hash(response.rwset) + response.chaincode_result
+            key = endorsed_payload_bytes(
+                response.rwset, response.chaincode_result, response.event
+            )
             if key not in groups:
                 groups[key] = []
                 order.append(key)
@@ -174,7 +176,9 @@ class Client:
             )
 
         reference = chosen[0]
-        reference_hash = rwset_hash(reference.rwset) + reference.chaincode_result
+        reference_hash = endorsed_payload_bytes(
+            reference.rwset, reference.chaincode_result, reference.event
+        )
         payload_hash = sha256(proposal.header_bytes() + reference_hash)
         envelope = TransactionEnvelope(
             proposal=proposal,
@@ -182,6 +186,7 @@ class Client:
             endorsements=tuple(response.endorsement for response in chosen),
             chaincode_result=reference.chaincode_result,
             client_signature=self.membership.sign_as(self.name, payload_hash),
+            event=reference.event,
         )
         self.stats.bump("transactions_assembled")
         return AssembledTransaction(envelope, tuple(chosen))

@@ -23,13 +23,13 @@ transport.
 
 from __future__ import annotations
 
-import warnings
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
 
 from ..common.config import NetworkConfig
+from ..common.deprecation import warn_once
 from ..common.types import Json, TxStatus, ValidationCode
 from .block import Block
-from .chaincode import Chaincode
+from .chaincode import DeployableChaincode
 from .client import Client, EndorsementRoundFailure
 from .identity import MembershipRegistry
 from .ledger import Ledger
@@ -103,7 +103,9 @@ class LocalNetwork:
     def peers_of(self, org_name: str) -> list[Peer]:
         return self.channel.peers_of(org_name)
 
-    def deploy(self, chaincode: Chaincode, policy: Optional[EndorsementPolicy] = None) -> None:
+    def deploy(
+        self, chaincode: DeployableChaincode, policy: Optional[EndorsementPolicy] = None
+    ) -> None:
         self.channel.deploy(chaincode, policy)
 
     def policy_for(self, chaincode_name: str) -> EndorsementPolicy:
@@ -129,11 +131,10 @@ class LocalNetwork:
         on :meth:`flush`), or the endorsement failure.
         """
 
-        warnings.warn(
+        warn_once(
+            "localnetwork-invoke",
             "LocalNetwork.invoke is deprecated; use the Gateway API "
             "(Gateway.connect(network).get_contract(...).submit_async)",
-            DeprecationWarning,
-            stacklevel=2,
         )
         tx = self.transport.submit_async(
             chaincode, function, args, client_index=client_index, now=now
@@ -150,11 +151,10 @@ class LocalNetwork:
         .. deprecated:: use ``Contract.evaluate`` instead.
         """
 
-        warnings.warn(
+        warn_once(
+            "localnetwork-query",
             "LocalNetwork.query is deprecated; use the Gateway API "
             "(Gateway.connect(network).get_contract(...).evaluate)",
-            DeprecationWarning,
-            stacklevel=2,
         )
         return self.transport.evaluate(chaincode, function, args, client_index=client_index)
 

@@ -16,13 +16,13 @@ as a deprecated shim over the same flow.
 
 from __future__ import annotations
 
-import warnings
 from typing import TYPE_CHECKING, Callable, Generator, Optional, Sequence
 
 from ..common.config import NetworkConfig
+from ..common.deprecation import warn_once
 from ..common.rng import SeedSequence  # noqa: F401  (re-exported for compat)
 from ..sim.engine import Environment
-from .chaincode import Chaincode
+from .chaincode import DeployableChaincode
 from .client import Client
 from .costmodel import CostModel
 from .nodes import OrdererNode, PeerNode, send_after  # noqa: F401  (compat re-export)
@@ -118,7 +118,9 @@ class SimulatedNetwork:
 
     # -- deployment ------------------------------------------------------------------
 
-    def deploy(self, chaincode: Chaincode, policy: Optional[EndorsementPolicy] = None) -> None:
+    def deploy(
+        self, chaincode: DeployableChaincode, policy: Optional[EndorsementPolicy] = None
+    ) -> None:
         self.channel.deploy(chaincode, policy)
 
     def policy_for(self, chaincode_name: str) -> EndorsementPolicy:
@@ -157,11 +159,10 @@ class SimulatedNetwork:
         peer event hubs, not through this flow — the client is open-loop.
         """
 
-        warnings.warn(
+        warn_once(
+            "simulatednetwork-submit-flow",
             "SimulatedNetwork.submit_flow is deprecated; use the Gateway API "
             "(Gateway.connect(network).get_contract(...).submit_async)",
-            DeprecationWarning,
-            stacklevel=2,
         )
         policy = self.channel.policy_for(chaincode)
         proposal = client.new_proposal(

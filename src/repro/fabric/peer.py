@@ -48,7 +48,7 @@ from .transaction import (
     Proposal,
     ProposalResponse,
     TransactionEnvelope,
-    rwset_hash,
+    endorsed_payload_bytes,
 )
 
 
@@ -161,7 +161,8 @@ class Peer:
             )
         rwset = stub.build_rwset()
         result_bytes = to_bytes(result)
-        response_hash = sha256(rwset_hash(rwset) + result_bytes)
+        event = stub.event
+        response_hash = sha256(endorsed_payload_bytes(rwset, result_bytes, event))
         endorsement = self.membership.sign_as(self.name, response_hash)
         self.stats.bump("proposals_endorsed")
         return ProposalResponse(
@@ -170,6 +171,7 @@ class Peer:
             rwset=rwset,
             chaincode_result=result_bytes,
             endorsement=endorsement,
+            event=event,
         )
 
     # ------------------------------------------------------------------
@@ -270,7 +272,9 @@ class Peer:
 
         if not tx.endorsements:
             return False
-        response_hash = sha256(rwset_hash(tx.rwset) + tx.chaincode_result)
+        response_hash = sha256(
+            endorsed_payload_bytes(tx.rwset, tx.chaincode_result, tx.event)
+        )
         endorsing_orgs: set[str] = set()
         for endorsement in tx.endorsements:
             if not self.membership.verify(endorsement, response_hash):

@@ -17,9 +17,28 @@ from typing import Optional
 
 from ..common.hashing import sha256, short_hash
 from ..common.serialization import to_bytes
-from ..common.types import ReadWriteSet, TxType
+from ..common.types import Json, ReadWriteSet, TxType
 from .identity import SignedPayload
 from .policy import EndorsementPolicy
+
+
+@dataclass(frozen=True)
+class ChaincodeEvent:
+    """One chaincode event set during endorsement (Fabric's ``SetEvent``).
+
+    Fabric allows at most one event per transaction; it travels inside the
+    endorsed payload (so all endorsers must agree on it) and is surfaced to
+    clients with the commit notification.
+    """
+
+    name: str
+    payload: Json = None
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "payload": self.payload}
+
+    def digest_bytes(self) -> bytes:
+        return to_bytes(self.to_dict())
 
 
 @dataclass(frozen=True)
@@ -128,10 +147,32 @@ class ProposalResponse:
     rwset: ReadWriteSet
     chaincode_result: bytes
     endorsement: SignedPayload
+    event: Optional[ChaincodeEvent] = None
 
     @property
     def response_hash(self) -> bytes:
-        return sha256(rwset_hash(self.rwset) + self.chaincode_result)
+        return sha256(endorsed_payload_bytes(self.rwset, self.chaincode_result, self.event))
+
+
+def endorsed_payload_bytes(
+    rwset: ReadWriteSet, chaincode_result: bytes, event: Optional[ChaincodeEvent]
+) -> bytes:
+    """The byte string endorsers sign over (and clients group responses by).
+
+    Every variable-length component is length-framed and the event slot is
+    tagged, so no two distinct (rwset, result, event) triples can collide —
+    e.g. a result ending in an event digest is not confusable with a
+    result-plus-event payload.
+    """
+
+    material = (
+        rwset_hash(rwset)
+        + len(chaincode_result).to_bytes(8, "big")
+        + chaincode_result
+    )
+    if event is None:
+        return material + b"\x00"
+    return material + b"\x01" + event.digest_bytes()
 
 
 @dataclass(frozen=True)
@@ -143,6 +184,7 @@ class TransactionEnvelope:
     endorsements: tuple[SignedPayload, ...]
     chaincode_result: bytes = b""
     client_signature: Optional[SignedPayload] = None
+    event: Optional[ChaincodeEvent] = None
 
     @property
     def tx_id(self) -> str:
@@ -174,6 +216,7 @@ class TransactionEnvelope:
             endorsements=self.endorsements,
             chaincode_result=self.chaincode_result,
             client_signature=self.client_signature,
+            event=self.event,
         )
 
 

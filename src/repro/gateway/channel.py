@@ -20,7 +20,7 @@ from ..common.config import NetworkConfig
 from ..common.errors import FabricError
 from ..common.types import Json, TxStatus, ValidationCode
 from ..fabric.block import CommittedBlock
-from ..fabric.chaincode import Chaincode, ChaincodeRegistry
+from ..fabric.chaincode import ChaincodeRegistry, DeployableChaincode
 from ..fabric.client import Client
 from ..fabric.events import statuses_from_block
 from ..fabric.identity import MembershipRegistry
@@ -96,11 +96,16 @@ class Channel:
 
     # -- deployment ----------------------------------------------------------------
 
-    def deploy(self, chaincode: Chaincode, policy: Optional[EndorsementPolicy] = None) -> None:
+    def deploy(
+        self, chaincode: DeployableChaincode, policy: Optional[EndorsementPolicy] = None
+    ) -> None:
         """Deploy a chaincode on the channel with an endorsement policy.
 
-        The default policy is ``OR`` over all organizations, which is what
-        the paper's Caliper benchmarks effectively use.
+        Accepts both authoring styles — new-style
+        :class:`repro.contract.Contract` subclasses and legacy
+        :class:`~repro.fabric.chaincode.Chaincode` subclasses.  The default
+        policy is ``OR`` over all organizations, which is what the paper's
+        Caliper benchmarks effectively use.
         """
 
         self.chaincodes.deploy(chaincode)

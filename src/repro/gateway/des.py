@@ -191,7 +191,10 @@ class DESTransport(Transport):
             channel.name, chaincode, function, args, policy, submit_time=self.env.now
         )
         process = self.env.process(self.flow(client, proposal, on_endorsement_failure))
-        return SubmittedTransaction(self, proposal.tx_id, self.env.now, flow=process)
+        return SubmittedTransaction(
+            self, proposal.tx_id, self.env.now, flow=process,
+            chaincode=chaincode, function=function,
+        )
 
     def wait_for(self, tx: SubmittedTransaction) -> TxStatus:
         """Step the simulation until ``tx`` resolves on the anchor peer."""
@@ -205,6 +208,8 @@ class DESTransport(Transport):
                     raise EndorseError(value)
                 if tx._result_bytes is None and value is not None:
                     tx._result_bytes = value.envelope.chaincode_result
+                if tx.chaincode_event is None and value is not None:
+                    tx.chaincode_event = value.envelope.event
                 if value is not None and value.envelope.rwset.is_read_only:
                     # Never ordered; resolve like the sync transport does.
                     # Cached so repeated commit_status() calls stay equal.

@@ -136,5 +136,34 @@ class Contract:
             raise commit_error_for(status)
         return tx.result()
 
+    def describe(self) -> dict:
+        """Per-transaction metadata of the deployed chaincode.
+
+        For new-style :class:`repro.contract.Contract` deployments this is
+        the full decorator registry — function names, submit/query kind,
+        typed parameter lists, usage strings, docstrings.  For legacy
+        ``Chaincode`` deployments it lists the discovered ``fn_`` handlers.
+        """
+
+        chaincode = self.channel.chaincodes.get(self.chaincode_name)
+        specs = getattr(chaincode, "transactions", None)
+        if callable(specs):
+            return {
+                "chaincode": self.chaincode_name,
+                "style": "contract",
+                "transactions": {
+                    name: spec.describe() for name, spec in sorted(specs().items())
+                },
+            }
+        names = getattr(chaincode, "transaction_names", None)
+        return {
+            "chaincode": self.chaincode_name,
+            "style": "chaincode",
+            "transactions": {
+                name: {"name": name, "kind": "submit"}
+                for name in (names() if callable(names) else ())
+            },
+        }
+
     def __repr__(self) -> str:
         return f"Contract({self.chaincode_name!r} on {self.channel.name!r})"

@@ -49,6 +49,9 @@ class SubmittedTransaction:
         result_bytes: Optional[bytes] = None,
         flow: object = None,
         endorse_failure: Optional[EndorsementRoundFailure] = None,
+        chaincode: Optional[str] = None,
+        function: Optional[str] = None,
+        chaincode_event: object = None,
     ) -> None:
         self._transport = transport
         self.tx_id = tx_id
@@ -66,6 +69,14 @@ class SubmittedTransaction:
         #: Cached status for never-ordered (read-only) transactions, so
         #: repeated ``commit_status()`` calls return equal values.
         self._readonly_status: Optional[TxStatus] = None
+        #: Per-transaction metadata: which chaincode function this was.
+        self.chaincode = chaincode
+        self.function = function
+        #: The :class:`~repro.fabric.transaction.ChaincodeEvent` the handler
+        #: set during endorsement (``ctx.events.set``), if any.  On the DES
+        #: transport it becomes available once the endorsement flow resolves
+        #: (``commit_status()`` / ``result()``).
+        self.chaincode_event = chaincode_event
 
     @property
     def done(self) -> bool:
@@ -197,16 +208,23 @@ class SyncTransport(Transport):
             if on_endorsement_failure is not None:
                 on_endorsement_failure(proposal.tx_id, now)
             return SubmittedTransaction(
-                self, proposal.tx_id, now, ordered=False, endorse_failure=outcome
+                self, proposal.tx_id, now, ordered=False, endorse_failure=outcome,
+                chaincode=chaincode, function=function,
             )
         result_bytes = outcome.envelope.chaincode_result
         if outcome.envelope.rwset.is_read_only:
             # Read transactions are not ordered or committed (paper §3).
             return SubmittedTransaction(
-                self, proposal.tx_id, now, ordered=False, result_bytes=result_bytes
+                self, proposal.tx_id, now, ordered=False, result_bytes=result_bytes,
+                chaincode=chaincode, function=function,
+                chaincode_event=outcome.envelope.event,
             )
         self.dispatch(self.orderer.submit(outcome.envelope, now), now)
-        return SubmittedTransaction(self, proposal.tx_id, now, result_bytes=result_bytes)
+        return SubmittedTransaction(
+            self, proposal.tx_id, now, result_bytes=result_bytes,
+            chaincode=chaincode, function=function,
+            chaincode_event=outcome.envelope.event,
+        )
 
     def wait_for(self, tx: SubmittedTransaction) -> TxStatus:
         status = self.channel.statuses.get(tx.tx_id)

@@ -28,7 +28,7 @@ from typing import Optional
 from ..common.errors import ChaincodeError
 from ..common.serialization import deep_copy_json
 from ..common.types import Json
-from ..fabric.chaincode import Chaincode, ShimStub
+from ..contract import Context, Contract, query, transaction
 
 #: Chaincode name used by every experiment.
 IOT_CHAINCODE_NAME = "iot"
@@ -76,11 +76,13 @@ def initial_device_state(device_id: str) -> dict:
     return {"deviceID": device_id, "tempReadings": []}
 
 
-class IoTChaincode(Chaincode):
-    """The experiment chaincode.
+class IoTChaincode(Contract):
+    """The experiment chaincode, written in the ``repro.contract`` style.
 
-    All functions take a single JSON-encoded argument describing the call —
-    mirroring how Caliper drives chaincodes with structured arguments:
+    All functions take a single JSON-object argument describing the call —
+    mirroring how Caliper drives chaincodes with structured arguments; the
+    ``call: dict`` annotation makes the Contract layer decode (and
+    validate) the proposal's JSON string before the handler runs:
 
     ``record`` / ``record_accumulate``::
 
@@ -98,28 +100,28 @@ class IoTChaincode(Chaincode):
 
     name = IOT_CHAINCODE_NAME
 
-    def fn_record(self, stub: ShimStub, call_json: str) -> Json:
-        call = self._decode(call_json)
+    @transaction
+    def record(self, ctx: Context, call: dict) -> Json:
         for key in call.get("read_keys", []):
-            stub.get_state(key)
+            ctx.state.get(key)
         payload = call["payload"]
         written = []
         for key in call.get("write_keys", []):
             value = deep_copy_json(payload)
             if "deviceID" in value:
                 value["deviceID"] = key
-            self._put(stub, key, value, bool(call.get("crdt", False)))
+            self._put(ctx, key, value, bool(call.get("crdt", False)))
             written.append(key)
         return {"written": written}
 
-    def fn_record_accumulate(self, stub: ShimStub, call_json: str) -> Json:
-        call = self._decode(call_json)
+    @transaction
+    def record_accumulate(self, ctx: Context, call: dict) -> Json:
         payload = call["payload"]
         new_readings = payload.get("tempReadings", [])
         written = []
         current: dict[str, Json] = {}
         for key in call.get("read_keys", []):
-            value = stub.get_state(key)
+            value = ctx.state.get(key)
             if isinstance(value, dict):
                 current[key] = value
         for key in call.get("write_keys", []):
@@ -130,36 +132,26 @@ class IoTChaincode(Chaincode):
                 raise ChaincodeError(f"key {key!r}: tempReadings is not a list")
             readings.extend(deep_copy_json(new_readings))
             merged["deviceID"] = key
-            self._put(stub, key, merged, bool(call.get("crdt", False)))
+            self._put(ctx, key, merged, bool(call.get("crdt", False)))
             written.append(key)
         return {"written": written}
 
-    def fn_populate(self, stub: ShimStub, call_json: str) -> Json:
-        call = self._decode(call_json)
+    @transaction
+    def populate(self, ctx: Context, call: dict) -> Json:
         for key in call["keys"]:
-            stub.put_state(key, initial_device_state(key))
+            ctx.state.put(key, initial_device_state(key))
         return {"populated": len(call["keys"])}
 
-    def fn_read_device(self, stub: ShimStub, call_json: str) -> Json:
-        call = self._decode(call_json)
-        return stub.get_state(call["key"])
+    @query
+    def read_device(self, ctx: Context, call: dict) -> Json:
+        return ctx.state.get(call["key"])
 
     @staticmethod
-    def _put(stub: ShimStub, key: str, value: Json, crdt: bool) -> None:
+    def _put(ctx: Context, key: str, value: Json, crdt: bool) -> None:
         if crdt:
-            stub.put_crdt(key, value)
+            ctx.crdt.doc(key).merge_patch(value)
         else:
-            stub.put_state(key, value)
-
-    @staticmethod
-    def _decode(call_json: str) -> dict:
-        try:
-            call = json.loads(call_json)
-        except json.JSONDecodeError as exc:
-            raise ChaincodeError(f"malformed call argument: {exc}") from exc
-        if not isinstance(call, dict):
-            raise ChaincodeError("call argument must be a JSON object")
-        return call
+            ctx.state.put(key, value)
 
 
 def encode_call(

@@ -26,9 +26,8 @@ from __future__ import annotations
 
 from ..common.errors import ChaincodeError
 from ..common.types import Json
-from ..crdt.pncounter import PNCounter
-from ..crdt.registry import crdt_from_dict_envelope, crdt_to_dict_envelope
-from ..fabric.chaincode import Chaincode, ShimStub
+from ..contract import Context, Contract, query, transaction
+from ..crdt.registry import is_dict_envelope
 
 MODES = ("plain", "naive-crdt", "pn-counter")
 
@@ -41,65 +40,53 @@ def savings_key(account: str) -> str:
     return f"savings/{account}"
 
 
-class SmallBankChaincode(Chaincode):
+class SmallBankChaincode(Contract):
     """The six SmallBank operations over two keys per account.
 
     Every mutating function takes ``mode`` as its last argument so one
-    deployment can demonstrate all three storage disciplines.
+    deployment can demonstrate all three storage disciplines.  The
+    pn-counter path runs on ``ctx.crdt.pn_counter`` handles — no envelope
+    dicts in sight.
     """
 
     name = "smallbank"
 
     # -- balance plumbing per mode -----------------------------------------
 
-    def _read_balance(self, stub: ShimStub, key: str) -> int:
-        value = stub.get_state(key)
+    def _read_balance(self, ctx: Context, key: str) -> int:
+        value = ctx.state.get(key)
         if value is None:
             raise ChaincodeError(f"unknown account key {key}")
-        if isinstance(value, dict) and "crdt" in value:
-            counter = crdt_from_dict_envelope(value)
-            return int(counter.value())
+        if is_dict_envelope(value):
+            return int(ctx.crdt.pn_counter(key).value())
         if isinstance(value, dict) and "balance" in value:
             return int(value["balance"])
         raise ChaincodeError(f"malformed balance at {key}")
 
     def _write_balance(
-        self, stub: ShimStub, key: str, new_balance: int, mode: str
+        self, ctx: Context, key: str, new_balance: int, mode: str
     ) -> None:
         if mode == "plain":
-            stub.put_state(key, {"balance": new_balance})
+            ctx.state.put(key, {"balance": new_balance})
         elif mode == "naive-crdt":
-            stub.put_crdt(key, {"balance": str(new_balance)})
+            ctx.crdt.doc(key).merge_patch({"balance": str(new_balance)})
         else:
             raise ChaincodeError(f"absolute writes unsupported in mode {mode!r}")
 
     def _adjust_balance(
-        self, stub: ShimStub, key: str, delta: int, mode: str, actor: str
+        self, ctx: Context, key: str, delta: int, mode: str, actor: str
     ) -> None:
         """Apply a relative change.  In pn-counter mode this is a commuting
         counter adjustment; in the other modes it is read-modify-write."""
 
         if mode == "pn-counter":
-            value = stub.get_state(key)
-            counter = (
-                crdt_from_dict_envelope(value)
-                if isinstance(value, dict) and "crdt" in value
-                else PNCounter()
-            )
-            if not isinstance(counter, PNCounter):
-                raise ChaincodeError(f"{key} does not hold a PN-Counter")
-            adjusted = (
-                counter.increment(actor, delta)
-                if delta >= 0
-                else counter.decrement(actor, -delta)
-            )
-            stub.put_crdt(key, crdt_to_dict_envelope(adjusted))
+            ctx.crdt.pn_counter(key).adjust(delta, actor=actor)
             return
-        current = self._read_balance(stub, key)
+        current = self._read_balance(ctx, key)
         new_balance = current + delta
         if mode == "plain" and new_balance < 0:
             raise ChaincodeError(f"insufficient funds at {key}")
-        self._write_balance(stub, key, new_balance, mode)
+        self._write_balance(ctx, key, new_balance, mode)
 
     @staticmethod
     def _check_mode(mode: str) -> str:
@@ -109,84 +96,80 @@ class SmallBankChaincode(Chaincode):
 
     # -- the six operations --------------------------------------------------
 
-    def fn_create_account(
-        self, stub: ShimStub, account: str, checking: str, savings: str, mode: str
+    @transaction
+    def create_account(
+        self, ctx: Context, account: str, checking: int, savings: int, mode: str
     ) -> Json:
         self._check_mode(mode)
         if mode == "pn-counter":
-            stub.put_state(
-                checking_key(account),
-                crdt_to_dict_envelope(PNCounter().increment("mint", int(checking))),
-            )
-            stub.put_state(
-                savings_key(account),
-                crdt_to_dict_envelope(PNCounter().increment("mint", int(savings))),
-            )
+            # Genesis writes are MVCC-protected plain writes: racing
+            # creations of one account conflict instead of merging.
+            ctx.crdt.pn_counter(checking_key(account)).initialize(checking)
+            ctx.crdt.pn_counter(savings_key(account)).initialize(savings)
         else:
-            stub.put_state(checking_key(account), {"balance": int(checking)})
-            stub.put_state(savings_key(account), {"balance": int(savings)})
+            ctx.state.put(checking_key(account), {"balance": checking})
+            ctx.state.put(savings_key(account), {"balance": savings})
         return {"created": account}
 
-    def fn_transact_savings(
-        self, stub: ShimStub, account: str, amount: str, mode: str
+    @transaction
+    def transact_savings(
+        self, ctx: Context, account: str, amount: int, mode: str
     ) -> Json:
         """Add ``amount`` (may be negative) to the savings balance."""
 
         self._check_mode(mode)
-        self._adjust_balance(
-            stub, savings_key(account), int(amount), mode, actor=stub.tx_id
-        )
+        self._adjust_balance(ctx, savings_key(account), amount, mode, actor=ctx.tx_id)
         return {"ok": True}
 
-    def fn_deposit_checking(
-        self, stub: ShimStub, account: str, amount: str, mode: str
+    @transaction
+    def deposit_checking(
+        self, ctx: Context, account: str, amount: int, mode: str
     ) -> Json:
         self._check_mode(mode)
-        if int(amount) < 0:
+        if amount < 0:
             raise ChaincodeError("deposits must be non-negative")
-        self._adjust_balance(
-            stub, checking_key(account), int(amount), mode, actor=stub.tx_id
-        )
+        self._adjust_balance(ctx, checking_key(account), amount, mode, actor=ctx.tx_id)
         return {"ok": True}
 
-    def fn_send_payment(
-        self, stub: ShimStub, source: str, destination: str, amount: str, mode: str
+    @transaction
+    def send_payment(
+        self, ctx: Context, source: str, destination: str, amount: int, mode: str
     ) -> Json:
         """Move ``amount`` from one checking account to another."""
 
         self._check_mode(mode)
-        value = int(amount)
-        if value < 0:
+        if amount < 0:
             raise ChaincodeError("payments must be non-negative")
-        actor = stub.tx_id
-        self._adjust_balance(stub, checking_key(source), -value, mode, actor)
-        self._adjust_balance(stub, checking_key(destination), value, mode, actor)
-        return {"paid": value}
+        actor = ctx.tx_id
+        self._adjust_balance(ctx, checking_key(source), -amount, mode, actor)
+        self._adjust_balance(ctx, checking_key(destination), amount, mode, actor)
+        return {"paid": amount}
 
-    def fn_write_check(self, stub: ShimStub, account: str, amount: str, mode: str) -> Json:
+    @transaction
+    def write_check(self, ctx: Context, account: str, amount: int, mode: str) -> Json:
         self._check_mode(mode)
-        self._adjust_balance(
-            stub, checking_key(account), -int(amount), mode, actor=stub.tx_id
-        )
+        self._adjust_balance(ctx, checking_key(account), -amount, mode, actor=ctx.tx_id)
         return {"ok": True}
 
-    def fn_amalgamate(self, stub: ShimStub, source: str, destination: str, mode: str) -> Json:
+    @transaction
+    def amalgamate(self, ctx: Context, source: str, destination: str, mode: str) -> Json:
         """Move all of ``source``'s funds into ``destination``'s checking."""
 
         self._check_mode(mode)
-        actor = stub.tx_id
-        checking = self._read_balance(stub, checking_key(source))
-        savings = self._read_balance(stub, savings_key(source))
-        self._adjust_balance(stub, checking_key(source), -checking, mode, actor)
-        self._adjust_balance(stub, savings_key(source), -savings, mode, actor)
+        actor = ctx.tx_id
+        checking = self._read_balance(ctx, checking_key(source))
+        savings = self._read_balance(ctx, savings_key(source))
+        self._adjust_balance(ctx, checking_key(source), -checking, mode, actor)
+        self._adjust_balance(ctx, savings_key(source), -savings, mode, actor)
         self._adjust_balance(
-            stub, checking_key(destination), checking + savings, mode, actor
+            ctx, checking_key(destination), checking + savings, mode, actor
         )
         return {"moved": checking + savings}
 
-    def fn_balance(self, stub: ShimStub, account: str) -> Json:
-        checking = self._read_balance(stub, checking_key(account))
-        savings = self._read_balance(stub, savings_key(account))
+    @query
+    def balance(self, ctx: Context, account: str) -> Json:
+        checking = self._read_balance(ctx, checking_key(account))
+        savings = self._read_balance(ctx, savings_key(account))
         return {"checking": checking, "savings": savings, "total": checking + savings}
 
 

@@ -1,0 +1,16 @@
+"""Fixtures for the contract-API tests."""
+
+import pytest
+
+from repro.core.network import crdt_network
+
+from ..conftest import small_config
+
+
+@pytest.fixture
+def local_network():
+    """A small synchronous FabricCRDT network with no chaincode deployed."""
+
+    return crdt_network(
+        small_config(max_message_count=10, crdt_enabled=True, num_orgs=2, peers_per_org=1)
+    )

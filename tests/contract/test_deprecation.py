@@ -1,0 +1,91 @@
+"""The legacy shims warn exactly once per process, however often they run."""
+
+import warnings
+
+import pytest
+
+from repro.common.deprecation import reset_deprecation_warnings
+from repro.core.network import crdt_network
+from repro.fabric.chaincode import Chaincode, ShimStub
+from repro.fabric.statedb import StateDB
+from repro.workload.iot import IoTChaincode
+
+from ..conftest import small_config
+
+
+@pytest.fixture(autouse=True)
+def rearm_latches():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class Legacy(Chaincode):
+    name = "legacy"
+
+    def fn_touch(self, stub, key):
+        stub.put_state(key, {"seen": True})
+        return {"ok": True}
+
+
+class TestChaincodeShim:
+    def test_fn_dispatch_warns_exactly_once(self):
+        stub = ShimStub(StateDB(), "tx1")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            Legacy().invoke(stub, "touch", ("a",))
+            Legacy().invoke(stub, "touch", ("b",))
+            Legacy().invoke(stub, "touch", ("c",))
+        assert len(deprecations(caught)) == 1
+        assert "repro.contract.Contract" in str(deprecations(caught)[0].message)
+
+    def test_contract_style_never_warns(self):
+        import json
+
+        stub = ShimStub(StateDB(), "tx1")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            IoTChaincode().invoke(stub, "populate", (json.dumps({"keys": ["k"]}),))
+        assert deprecations(caught) == []
+
+
+class TestNetworkShims:
+    def test_invoke_and_query_warn_once_each(self):
+        network = crdt_network(
+            small_config(max_message_count=5, crdt_enabled=True, num_orgs=1, peers_per_org=1)
+        )
+        network.deploy(Legacy())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            network.invoke("legacy", "touch", ["x"])
+            network.invoke("legacy", "touch", ["y"])
+            network.flush()
+            network.query("legacy", "touch", ["z"])
+            network.query("legacy", "touch", ["w"])
+        messages = [str(w.message) for w in deprecations(caught)]
+        assert sum("LocalNetwork.invoke" in m for m in messages) == 1
+        assert sum("LocalNetwork.query" in m for m in messages) == 1
+        # fn_ dispatch latched once too, however many endorsements ran.
+        assert sum("fn_" in m for m in messages) == 1
+
+    def test_submit_flow_warns_once(self):
+        from repro.common.config import NetworkConfig, TopologyConfig
+        from repro.fabric.network import SimulatedNetwork
+        from repro.sim.engine import Environment
+
+        env = Environment()
+        network = SimulatedNetwork(
+            env, NetworkConfig(topology=TopologyConfig(num_orgs=1, peers_per_org=1))
+        )
+        network.deploy(Legacy())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            env.process(network.submit_flow(network.clients[0], "legacy", "touch", ("a",)))
+            env.process(network.submit_flow(network.clients[0], "legacy", "touch", ("b",)))
+            env.run()
+        messages = [str(w.message) for w in deprecations(caught)]
+        assert sum("submit_flow" in m for m in messages) == 1

@@ -1,0 +1,219 @@
+"""Tests for ctx.crdt handles: plumbing, caching, and end-to-end merging."""
+
+import pytest
+
+from repro.common.errors import ChaincodeError
+from repro.contract import Contract, query, transaction
+from repro.crdt.gcounter import GCounter
+from repro.crdt.registry import crdt_from_dict_envelope, crdt_to_dict_envelope
+from repro.fabric.chaincode import ShimStub
+from repro.fabric.statedb import StateDB
+from repro.gateway import Gateway
+
+
+class HandleContract(Contract):
+    """One handler per handle kind, for end-to-end merge tests."""
+
+    name = "handles"
+
+    @transaction
+    def bump(self, ctx, key: str, amount: int, actor: str):
+        return {"total": ctx.crdt.counter(key).incr(amount, actor=actor)}
+
+    @transaction
+    def adjust(self, ctx, key: str, delta: int):
+        return {"value": ctx.crdt.pn_counter(key).adjust(delta)}
+
+    @transaction
+    def add_member(self, ctx, key: str, member: str):
+        ctx.crdt.set(key).add(member)
+        return {}
+
+    @transaction
+    def drop_member(self, ctx, key: str, member: str):
+        ctx.crdt.set(key).discard(member)
+        return {}
+
+    @transaction
+    def set_status(self, ctx, key: str, status: str):
+        ctx.crdt.register(key).assign(status)
+        return {}
+
+    @transaction
+    def write_text(self, ctx, key: str, line: str):
+        ctx.crdt.text(key).append(line)
+        return {}
+
+    @transaction
+    def patch(self, ctx, key: str, fields: dict):
+        ctx.crdt.doc(key).merge_patch(fields)
+        return {}
+
+    @query
+    def counter_value(self, ctx, key: str):
+        return {"value": ctx.crdt.counter(key).value()}
+
+    @query
+    def set_members(self, ctx, key: str):
+        return {"members": ctx.crdt.set(key).elements()}
+
+    @query
+    def register_value(self, ctx, key: str):
+        return {"value": ctx.crdt.register(key).value()}
+
+    @query
+    def read_text(self, ctx, key: str):
+        return {"text": ctx.crdt.text(key).text()}
+
+
+@pytest.fixture
+def contract(local_network):
+    local_network.deploy(HandleContract())
+    return Gateway.connect(local_network).get_contract("handles")
+
+
+class TestStubLevel:
+    """Handle plumbing against a bare stub (no network)."""
+
+    def test_mutations_compose_within_one_invocation(self):
+        stub = ShimStub(StateDB(), "tx1")
+        cc = HandleContract()
+        ctx = cc.new_context(stub)
+        handle = ctx.crdt.counter("hits")
+        handle.incr(2, actor="a")
+        handle.incr(3, actor="a")
+        writes = stub.build_rwset().writes
+        assert len(writes) == 1 and writes[0].is_crdt
+        from repro.common.serialization import from_bytes
+
+        merged = crdt_from_dict_envelope(from_bytes(writes[0].value))
+        assert merged.value() == 5
+
+    def test_factory_caches_handles_per_key(self):
+        stub = ShimStub(StateDB(), "tx1")
+        ctx = HandleContract().new_context(stub)
+        assert ctx.crdt.counter("k") is ctx.crdt.counter("k")
+
+    def test_kind_conflict_on_one_key_rejected(self):
+        stub = ShimStub(StateDB(), "tx1")
+        ctx = HandleContract().new_context(stub)
+        ctx.crdt.counter("k")
+        with pytest.raises(ChaincodeError, match="already opened"):
+            ctx.crdt.set("k")
+
+    def test_wrong_committed_type_rejected(self):
+        from repro.common.serialization import to_bytes
+        from repro.common.types import Version
+
+        db = StateDB()
+        db.apply_write(
+            "k", to_bytes(crdt_to_dict_envelope(GCounter().increment("a"))), Version(0, 0)
+        )
+        ctx = HandleContract().new_context(ShimStub(db, "tx1"))
+        with pytest.raises(ChaincodeError, match="holds a 'g-counter'"):
+            ctx.crdt.pn_counter("k").adjust(1)
+
+    def test_plain_json_key_rejected(self):
+        from repro.common.serialization import to_bytes
+        from repro.common.types import Version
+
+        db = StateDB()
+        db.apply_write("k", to_bytes({"plain": 1}), Version(0, 0))
+        ctx = HandleContract().new_context(ShimStub(db, "tx1"))
+        with pytest.raises(ChaincodeError, match="does not hold a CRDT envelope"):
+            ctx.crdt.counter("k").incr()
+
+    def test_negative_gcounter_increment_rejected(self):
+        ctx = HandleContract().new_context(ShimStub(StateDB(), "tx1"))
+        with pytest.raises(ChaincodeError, match="pn_counter"):
+            ctx.crdt.counter("k").incr(-1)
+
+    def test_doc_patches_deep_merge_locally(self):
+        stub = ShimStub(StateDB(), "tx1")
+        ctx = HandleContract().new_context(stub)
+        doc = ctx.crdt.doc("d")
+        doc.merge_patch({"a": {"x": 1}, "items": [1]})
+        doc.merge_patch({"a": {"y": 2}, "items": [2]})
+        from repro.common.serialization import from_bytes
+
+        writes = stub.build_rwset().writes
+        assert len(writes) == 1
+        assert from_bytes(writes[0].value) == {"a": {"x": 1, "y": 2}, "items": [1, 2]}
+
+
+class TestEndToEnd:
+    """Concurrent handle mutations merged by the FabricCRDT committer."""
+
+    def test_concurrent_counter_increments_all_count(self, contract, local_network):
+        txs = [
+            contract.submit_async("bump", "hits", "1", f"voter{i}", client_index=i % 4)
+            for i in range(7)
+        ]
+        assert all(tx.commit_status().succeeded for tx in txs)
+        assert contract.evaluate("counter_value", "hits")["value"] == 7
+        local_network.assert_states_converged()
+
+    def test_counter_accumulates_across_blocks(self, contract):
+        for _ in range(3):
+            contract.submit("bump", "again", "2", "actor-a")
+        assert contract.evaluate("counter_value", "again")["value"] == 6
+
+    def test_concurrent_pn_adjustments_conserve_sum(self, contract, local_network):
+        txs = [
+            contract.submit_async("adjust", "bal", str(delta), client_index=i % 4)
+            for i, delta in enumerate([10, -4, 7, -3])
+        ]
+        assert all(tx.commit_status().succeeded for tx in txs)
+        state = local_network.state_of("bal")
+        assert crdt_from_dict_envelope(state).value() == 10
+
+    def test_concurrent_set_adds_union(self, contract, local_network):
+        txs = [
+            contract.submit_async("add_member", "team", member, client_index=i % 4)
+            for i, member in enumerate(["ana", "bo", "cy"])
+        ]
+        assert all(tx.commit_status().succeeded for tx in txs)
+        assert sorted(contract.evaluate("set_members", "team")["members"]) == [
+            "ana", "bo", "cy",
+        ]
+
+    def test_set_discard_then_concurrent_add_wins(self, contract):
+        contract.submit("add_member", "team", "dax")
+        drop = contract.submit_async("drop_member", "team", "dax")
+        re_add = contract.submit_async("add_member", "team", "dax")
+        assert drop.commit_status().succeeded and re_add.commit_status().succeeded
+        # Add-wins: the concurrent add used a tag the remove never observed.
+        assert contract.evaluate("set_members", "team")["members"] == ["dax"]
+
+    def test_concurrent_register_assigns_resolve_deterministically(
+        self, contract, local_network
+    ):
+        txs = [
+            contract.submit_async("set_status", "phase", status, client_index=i % 4)
+            for i, status in enumerate(["alpha", "beta", "gamma"])
+        ]
+        assert all(tx.commit_status().succeeded for tx in txs)
+        winner = contract.evaluate("register_value", "phase")["value"]
+        assert winner in {"alpha", "beta", "gamma"}
+        local_network.assert_states_converged()
+
+    def test_concurrent_text_appends_all_survive(self, contract, local_network):
+        txs = [
+            contract.submit_async("write_text", "pad", line, client_index=i % 4)
+            for i, line in enumerate(["one;", "two;", "three;"])
+        ]
+        assert all(tx.commit_status().succeeded for tx in txs)
+        text = contract.evaluate("read_text", "pad")["text"]
+        for line in ["one;", "two;", "three;"]:
+            assert line in text
+        local_network.assert_states_converged()
+
+    def test_concurrent_doc_patches_merge_fieldwise(self, contract, local_network):
+        contract.submit("patch", "cfg", '{"base": {"v": "1"}}')
+        txs = [
+            contract.submit_async("patch", "cfg", '{"a": {"x": "1"}}', client_index=0),
+            contract.submit_async("patch", "cfg", '{"a": {"y": "2"}}', client_index=1),
+        ]
+        assert all(tx.commit_status().succeeded for tx in txs)
+        state = local_network.state_of("cfg")
+        assert state["a"] == {"x": "1", "y": "2"}

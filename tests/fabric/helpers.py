@@ -11,7 +11,11 @@ from repro.fabric.chaincode import ChaincodeRegistry
 from repro.fabric.identity import MembershipRegistry
 from repro.fabric.peer import Peer
 from repro.fabric.policy import EndorsementPolicy, or_policy
-from repro.fabric.transaction import Proposal, TransactionEnvelope, rwset_hash
+from repro.fabric.transaction import (
+    Proposal,
+    TransactionEnvelope,
+    endorsed_payload_bytes,
+)
 
 
 def build_peer(
@@ -52,7 +56,7 @@ def endorsed_tx(
         nonce=nonce,
     )
     result_bytes = to_bytes(None)
-    response_hash = sha256(rwset_hash(rwset) + result_bytes)
+    response_hash = sha256(endorsed_payload_bytes(rwset, result_bytes, None))
     orgs = endorser_orgs if endorser_orgs is not None else [peer.org_name]
     endorsements = []
     for org in orgs:
