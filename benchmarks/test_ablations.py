@@ -104,13 +104,14 @@ class TestReorderAblation:
         network.deploy(IoTChaincode())
         plan = generate_plan(spec)
         populate_ledger(network, keys_to_populate(spec, plan))
-        collector = MetricsCollector(env, expected=len(plan))
-        network.anchor_peer.events.subscribe(collector.on_block)
         from repro.gateway import Gateway
         from repro.workload.caliper import _client_process
         from repro.workload.iot import IOT_CHAINCODE_NAME
 
-        contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
+        gateway = Gateway.connect(network)
+        collector = MetricsCollector(env, expected=len(plan))
+        collector.observe(gateway.block_events())
+        contract = gateway.get_contract(IOT_CHAINCODE_NAME)
         per_client = {}
         for tx in plan:
             per_client.setdefault(tx.client, []).append(tx)

@@ -13,6 +13,9 @@ Permissioned Blockchains* (Middleware '19).  The package provides:
 * :mod:`repro.core` — FabricCRDT itself (Algorithms 1 and 2, the CRDT peer);
 * :mod:`repro.gateway` — the Gateway API, one transport-agnostic
   submit/evaluate surface over the synchronous and discrete-event networks;
+* :mod:`repro.events` — the event service: replayable block / contract
+  event streams (``gateway.block_events()``,
+  ``contract.contract_events()``) with filtering and checkpointing;
 * :mod:`repro.sim` — the discrete-event kernel behind the timed experiments;
 * :mod:`repro.workload` / :mod:`repro.bench` — the Caliper-equivalent driver
   and one experiment definition per figure of the paper's evaluation.
@@ -42,6 +45,7 @@ from .common.config import (
 from .common.types import TxStatus, ValidationCode, Version
 from .contract import Context, Contract as ContractBase, query, transaction
 from .core.network import crdt_network, vanilla_network
+from .events import BlockEvent, Checkpoint, ContractEvent
 from .core.peer import CRDTPeer
 from .fabric.chaincode import Chaincode, ShimStub
 from .fabric.localnet import LocalNetwork
@@ -84,6 +88,9 @@ __all__ = [
     "Contract",
     "Channel",
     "SubmittedTransaction",
+    "BlockEvent",
+    "ContractEvent",
+    "Checkpoint",
     "GatewayError",
     "EndorseError",
     "CommitError",

@@ -1,0 +1,62 @@
+"""The event service: replayable block/contract event streams.
+
+Fabric peers expose a deliver service that streams committed blocks from
+any past height; client SDKs build block and chaincode-event listeners on
+top of it.  This package is that subsystem for the reproduction:
+
+* :mod:`repro.events.deliver` — per-peer deliver sessions (ledger replay,
+  then live :class:`~repro.fabric.events.EventHub` delivery, seam-free);
+* :mod:`repro.events.streams` — :class:`BlockEventStream` /
+  :class:`ContractEventStream`, iterator + callback styles, bounded
+  buffers with explicit overflow policies;
+* :mod:`repro.events.filters` — chaincode / event-name / validity filters;
+* :mod:`repro.events.checkpoint` — resumable cursors (no gaps, no dups);
+* :mod:`repro.events.scheduling` — when deliveries run: inline, or as
+  zero-delay events at commit instants on the DES clock;
+* :mod:`repro.events.types` — the delivered :class:`BlockEvent` /
+  :class:`ContractEvent` payloads.
+
+Consumers reach it through the Gateway::
+
+    stream = gateway.block_events(start_block=0)       # replay + live
+    events = contract.contract_events(event_name="voted")
+    for event in events:
+        ...
+    cp = events.checkpoint()                            # resume later:
+    events = contract.contract_events(checkpoint=cp)
+"""
+
+from .checkpoint import Checkpoint, CheckpointError
+from .deliver import DeliverError, DeliverService, DeliverSession
+from .filters import EventFilter, contract_events_in_block
+from .scheduling import DeliverySchedule, InlineSchedule, SimSchedule
+from .streams import (
+    DEFAULT_BUFFER_LIMIT,
+    BlockEventStream,
+    ContractEventStream,
+    EventStream,
+    StreamClosedError,
+    StreamOverflowError,
+)
+from .types import BlockEvent, ContractEvent
+
+__all__ = [
+    "BlockEvent",
+    "ContractEvent",
+    "BlockEventStream",
+    "ContractEventStream",
+    "EventStream",
+    "DEFAULT_BUFFER_LIMIT",
+    "StreamOverflowError",
+    "StreamClosedError",
+    "Checkpoint",
+    "CheckpointError",
+    "EventFilter",
+    "contract_events_in_block",
+    "DeliverService",
+    "DeliverSession",
+    "DeliverError",
+    "DeliverySchedule",
+    "InlineSchedule",
+    "SimSchedule",
+]

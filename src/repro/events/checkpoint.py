@@ -1,0 +1,66 @@
+"""Resumable stream cursors (Fabric's checkpointer).
+
+A :class:`Checkpoint` names the *next* position a stream should deliver
+from: ``(block_number, tx_index)``.  Block streams only use the block
+coordinate; contract-event streams use both, so a consumer that stopped
+mid-block resumes exactly after the last event it processed — no gaps, no
+duplicates.
+
+Checkpoints only ever advance on *delivered* events (handed to a callback
+or yielded by the iterator), never on merely buffered ones.  Combined with
+ledger replay this makes resumption lossless even across buffer overflow:
+anything dropped from a live buffer is still committed on the ledger, and a
+resumed stream re-reads it from there.
+
+Checkpoints serialize to plain dicts (:meth:`Checkpoint.to_dict` /
+:meth:`Checkpoint.from_dict`) so callers can persist them as JSON, exactly
+like the file checkpointers in the Fabric client SDKs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import FabricError
+
+
+class CheckpointError(FabricError):
+    """A malformed or unusable checkpoint."""
+
+
+@dataclass(frozen=True, order=True)
+class Checkpoint:
+    """The next (block, transaction) position a stream delivers from."""
+
+    block_number: int = 0
+    tx_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_number < 0 or self.tx_index < 0:
+            raise CheckpointError(
+                f"checkpoint coordinates must be non-negative: "
+                f"({self.block_number}, {self.tx_index})"
+            )
+
+    def advanced_past_block(self) -> "Checkpoint":
+        """The first position of the next block."""
+
+        return Checkpoint(self.block_number + 1, 0)
+
+    def advanced_past_tx(self) -> "Checkpoint":
+        """The position right after this transaction, same block."""
+
+        return Checkpoint(self.block_number, self.tx_index + 1)
+
+    def to_dict(self) -> dict:
+        return {"block_number": self.block_number, "tx_index": self.tx_index}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Checkpoint":
+        try:
+            return cls(int(data["block_number"]), int(data.get("tx_index", 0)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint: {data!r}") from exc
+
+    def __str__(self) -> str:
+        return f"@{self.block_number}.{self.tx_index}"

@@ -1,0 +1,80 @@
+"""Event filtering: which transactions of a block yield contract events.
+
+Fabric's deliver service offers filtered streams (chaincode, event name);
+validity filtering matters doubly here because in FabricCRDT the *commit*
+is where a transaction's fate is decided — clients learn merged outcomes
+and MVCC fates from committed blocks, so a contract-event stream must not
+surface events of transactions the committer invalidated (the default), yet
+diagnostic consumers can opt in to seeing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..common.types import ValidationCode
+from ..fabric.block import CommittedBlock
+from ..fabric.transaction import TransactionEnvelope
+from .types import ContractEvent
+
+
+@dataclass(frozen=True)
+class EventFilter:
+    """What a contract-event stream lets through.
+
+    * ``chaincode`` — only events emitted by this chaincode (``None``: any);
+    * ``event_name`` — only events with exactly this name (``None``: any);
+    * ``valid_only`` — suppress events of invalidated transactions (the
+      Fabric default; set ``False`` to observe events of rejected
+      transactions, e.g. when auditing MVCC losses).
+    """
+
+    chaincode: Optional[str] = None
+    event_name: Optional[str] = None
+    valid_only: bool = True
+
+    def matches(self, tx: TransactionEnvelope, code: ValidationCode) -> bool:
+        if tx.event is None:
+            return False
+        if self.valid_only and not code.is_valid:
+            return False
+        if self.chaincode is not None and tx.proposal.chaincode != self.chaincode:
+            return False
+        if self.event_name is not None and tx.event.name != self.event_name:
+            return False
+        return True
+
+
+def contract_events_in_block(
+    committed: CommittedBlock,
+    peer_name: str,
+    event_filter: EventFilter,
+    start_tx: int = 0,
+) -> Iterator[ContractEvent]:
+    """Expand one committed block into its matching contract events.
+
+    ``start_tx`` skips transactions before that index — how a
+    checkpoint-resumed stream avoids re-delivering events of a partially
+    consumed block.
+    """
+
+    block = committed.block
+    for tx_index, tx in enumerate(block.transactions):
+        if tx_index < start_tx:
+            continue
+        code = committed.metadata.code_for(tx_index)
+        if not event_filter.matches(tx, code):
+            continue
+        assert tx.event is not None  # guaranteed by the filter
+        yield ContractEvent(
+            chaincode=tx.proposal.chaincode,
+            event_name=tx.event.name,
+            payload=tx.event.payload,
+            tx_id=tx.tx_id,
+            block_number=block.number,
+            tx_index=tx_index,
+            peer_name=peer_name,
+            code=code,
+            commit_time=committed.commit_time,
+        )

@@ -1,0 +1,65 @@
+"""When event deliveries run: inline, or as discrete-event occurrences.
+
+A real deliver service is a separate gRPC stream: the peer's committer and
+the client's listener are different processes, so delivery happens *at* the
+commit instant but not *inside* the commit call stack.  The two schedules
+model that distinction for our two transports:
+
+* :class:`InlineSchedule` — the clockless default: deliveries run
+  synchronously the moment the hub publishes (or the replay loop reads a
+  block).  Used by :class:`~repro.gateway.transport.SyncTransport` and by
+  the channel's own commit tracking.
+* :class:`SimSchedule` — deliveries become zero-delay simulation events on
+  the DES clock: a block committed at virtual time *t* is delivered to
+  subscribers at exactly *t*, after the committing process's current event
+  finishes.  Simulated timings are unchanged — no service times, no
+  resource contention, no RNG draws are attached to delivery — only the
+  intra-instant interleaving matches a real peer, where the committer never
+  blocks on its event consumers.
+
+Both schedules preserve per-subscription FIFO order: deliveries dispatched
+in order run in order (the DES kernel breaks same-time ties by scheduling
+sequence).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ..sim.engine import Environment
+
+Thunk = Callable[[], None]
+
+
+class DeliverySchedule(ABC):
+    """Strategy for running one delivery thunk at the current instant."""
+
+    @abstractmethod
+    def dispatch(self, thunk: Thunk) -> None:
+        """Run ``thunk`` now (inline) or at the current instant (scheduled)."""
+
+
+class InlineSchedule(DeliverySchedule):
+    """Run deliveries synchronously inside the publishing call."""
+
+    def dispatch(self, thunk: Thunk) -> None:
+        thunk()
+
+    def __repr__(self) -> str:
+        return "InlineSchedule()"
+
+
+class SimSchedule(DeliverySchedule):
+    """Run deliveries as zero-delay events on a simulation clock."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+
+    def dispatch(self, thunk: Thunk) -> None:
+        event = self.env.event()
+        event.callbacks.append(lambda _event: thunk())
+        event.succeed()
+
+    def __repr__(self) -> str:
+        return f"SimSchedule(now={self.env.now})"

@@ -1,0 +1,99 @@
+"""Event payloads delivered by the event service.
+
+Two event kinds flow through :mod:`repro.events` streams:
+
+* :class:`BlockEvent` — one committed block as observed on one peer, the
+  unit Fabric's deliver service streams to clients;
+* :class:`ContractEvent` — one chaincode event (``ctx.events.set``)
+  extracted from a committed transaction, enriched with its commit
+  coordinates so consumers can checkpoint and correlate.
+
+Both are frozen: an event describes something that already happened on the
+ledger and is shared between every subscriber of a peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.types import Json, TxStatus, ValidationCode
+from ..fabric.block import CommittedBlock
+
+
+@dataclass(frozen=True)
+class BlockEvent:
+    """One committed block delivered to a block stream."""
+
+    committed: CommittedBlock
+    peer_name: str
+
+    @property
+    def block_number(self) -> int:
+        return self.committed.block.number
+
+    @property
+    def commit_time(self) -> float:
+        return self.committed.commit_time
+
+    @property
+    def transaction_count(self) -> int:
+        return len(self.committed.block)
+
+    def statuses(self) -> list[TxStatus]:
+        """Per-transaction statuses of the block (commit-notification view)."""
+
+        from ..fabric.events import statuses_from_block
+
+        return statuses_from_block(self.committed)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockEvent(block={self.block_number}, "
+            f"txs={self.transaction_count}, peer={self.peer_name!r})"
+        )
+
+
+@dataclass(frozen=True)
+class ContractEvent:
+    """One chaincode event extracted from a committed transaction.
+
+    Mirrors the fields of Fabric Gateway's ``ChaincodeEvent`` message:
+    which chaincode emitted it, the event name and payload the handler set
+    during endorsement, plus the commit coordinates (block number, position
+    in block, transaction ID) and the validation code the committing peer
+    assigned.  Streams filter on validity by default — like Fabric, events
+    of invalidated transactions are normally suppressed.
+    """
+
+    chaincode: str
+    event_name: str
+    payload: Json
+    tx_id: str
+    block_number: int
+    tx_index: int
+    peer_name: str
+    code: ValidationCode = ValidationCode.VALID
+    commit_time: float = 0.0
+
+    @property
+    def is_valid(self) -> bool:
+        return self.code.is_valid
+
+    def to_dict(self) -> dict:
+        """JSON-shaped form (what a wire deliver service would send)."""
+
+        return {
+            "chaincode": self.chaincode,
+            "event_name": self.event_name,
+            "payload": self.payload,
+            "tx_id": self.tx_id,
+            "block_number": self.block_number,
+            "tx_index": self.tx_index,
+            "code": self.code.name,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ContractEvent({self.event_name!r} from {self.chaincode!r} "
+            f"at block {self.block_number} tx {self.tx_index})"
+        )

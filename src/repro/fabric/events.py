@@ -1,15 +1,22 @@
 """Commit event delivery (Fabric's event hub / block listener).
 
-Peers publish every committed block to their hub; clients and metric
-collectors subscribe with plain callables.  Subscribers never run inside the
-commit path's timing — in the discrete-event network, publishing happens at
-the instant the commit completes.
+Peers publish every committed block to their hub.  The hub is now an
+*internal* building block of the event service: the deliver sessions in
+:mod:`repro.events.deliver` ride it for live delivery, and everything else
+subscribes through Gateway streams (``gateway.block_events()`` /
+``contract.contract_events()``), which add replay, filtering, and
+checkpointing on top.  Direct ``subscribe`` calls still work but warn once.
+
+Subscribers never run inside the commit path's timing — in the
+discrete-event network, publishing happens at the instant the commit
+completes.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..common.deprecation import warn_once
 from ..common.types import TxStatus, ValidationCode
 from .block import CommittedBlock
 
@@ -25,11 +32,42 @@ class EventHub:
         self.published = 0
 
     def subscribe(self, listener: BlockListener) -> Callable[[], None]:
-        """Register a listener; returns an unsubscribe function."""
+        """Register a listener; returns an unsubscribe function.
+
+        .. deprecated:: use the event service instead —
+           ``Gateway.connect(network).block_events()`` (or
+           ``contract.contract_events()``) streams the same commits with
+           replay, filtering, and checkpointing.
+        """
+
+        warn_once(
+            "eventhub-subscribe",
+            "peer.events.subscribe is deprecated; use the Gateway event "
+            "service (gateway.block_events() / contract.contract_events())",
+        )
+        return self.subscribe_internal(listener)
+
+    def subscribe_internal(self, listener: BlockListener) -> Callable[[], None]:
+        """Register a listener without the deprecation warning.
+
+        Reserved for the event service's own deliver sessions
+        (:mod:`repro.events.deliver`); everything else should go through
+        the Gateway streams.
+        """
 
         self._listeners.append(listener)
+        spent = False
 
         def unsubscribe() -> None:
+            # Idempotent per registration: a second call is a no-op even if
+            # the same callable was subscribed again (it must not remove the
+            # other registration), and unsubscribing during a publish only
+            # affects later blocks — the in-flight publish iterates over a
+            # snapshot of the listener list.
+            nonlocal spent
+            if spent:
+                return
+            spent = True
             try:
                 self._listeners.remove(listener)
             except ValueError:

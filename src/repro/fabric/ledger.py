@@ -43,6 +43,11 @@ class Ledger:
         return self._blocks[-1].block.header.hash()
 
     def block_at(self, number: int) -> CommittedBlock:
+        if number < 0:
+            # Without this check Python's negative indexing would silently
+            # serve blocks from the end of the chain — block "numbers" are
+            # absolute heights, never relative offsets.
+            raise LedgerError(f"block number must be non-negative, got {number}")
         try:
             return self._blocks[number]
         except IndexError:

@@ -5,6 +5,11 @@
 surface over the synchronous :class:`~repro.fabric.localnet.LocalNetwork`
 and the discrete-event :class:`~repro.fabric.network.SimulatedNetwork`,
 mirroring the Hyperledger Fabric Gateway SDK.
+
+Commit observation goes through the event service (:mod:`repro.events`):
+``gateway.block_events(start_block=...)`` and
+``contract.contract_events(event_name=...)`` return replayable, filterable,
+checkpointable streams on either transport.
 """
 
 from .channel import NUM_CLIENTS, Channel

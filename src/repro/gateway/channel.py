@@ -70,7 +70,14 @@ class Channel:
 
         #: Transaction statuses observed on the anchor peer, by tx ID.
         self.statuses: dict[str, TxStatus] = {}
-        self.anchor_peer.events.subscribe(self._on_commit)
+        # Commit tracking rides the event service's deliver session (from
+        # genesis, inline delivery): statuses are recorded in the same
+        # instant the anchor peer commits, on every transport.
+        from ..events.deliver import DeliverService
+
+        self._deliver_session = DeliverService(self.anchor_peer).deliver(
+            self._on_commit, start_block=0
+        )
 
     # -- topology accessors ------------------------------------------------------
 
@@ -121,7 +128,7 @@ class Channel:
 
     # -- status tracking -------------------------------------------------------------
 
-    def _on_commit(self, committed: CommittedBlock, peer_name: str) -> None:
+    def _on_commit(self, committed: CommittedBlock) -> None:
         for status in statuses_from_block(committed):
             self.statuses[status.tx_id] = status
 

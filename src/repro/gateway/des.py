@@ -70,6 +70,18 @@ class DESTransport(Transport):
     def now(self) -> float:
         return self.env.now
 
+    def delivery_schedule(self):
+        """Event deliveries become zero-delay events at commit instants.
+
+        The committing peer process never blocks on event consumers (a real
+        deliver service is a separate stream), and simulated timings are
+        unchanged — delivery carries no service time and draws no RNG.
+        """
+
+        from ..events.scheduling import SimSchedule
+
+        return SimSchedule(self.env)
+
     @property
     def config(self) -> NetworkConfig:
         return self.channel.config

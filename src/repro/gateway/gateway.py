@@ -34,9 +34,43 @@ from __future__ import annotations
 from typing import Optional
 
 from ..common.types import Json
+from ..events import (
+    DEFAULT_BUFFER_LIMIT,
+    BlockEventStream,
+    Checkpoint,
+    ContractEventStream,
+    EventFilter,
+)
 from .channel import Channel
 from .errors import GatewayError, commit_error_for
 from .transport import EndorsementFailureHook, SubmittedTransaction, Transport
+
+
+def _peer_at(channel: Channel, peer_index: int):
+    """The peer a stream attaches to; indices are absolute, never relative."""
+
+    if not 0 <= peer_index < len(channel.peers):
+        raise GatewayError(
+            f"peer_index {peer_index} out of range "
+            f"(channel has {len(channel.peers)} peers)"
+        )
+    return channel.peers[peer_index]
+
+
+def _resolve_start(
+    checkpoint: Optional[Checkpoint],
+    start_block: Optional[int],
+    live_height: int,
+) -> Checkpoint:
+    """Where a new stream begins: checkpoint > start_block > live tip."""
+
+    if checkpoint is not None and start_block is not None:
+        raise GatewayError("pass either checkpoint or start_block, not both")
+    if checkpoint is not None:
+        return checkpoint
+    if start_block is not None:
+        return Checkpoint(start_block)
+    return Checkpoint(live_height)
 
 
 class Gateway:
@@ -70,6 +104,34 @@ class Gateway:
         """A handle on one deployed chaincode."""
 
         return Contract(self.channel, self.transport, chaincode_name)
+
+    def block_events(
+        self,
+        start_block: Optional[int] = None,
+        checkpoint: Optional[Checkpoint] = None,
+        peer_index: int = 0,
+        buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+        overflow: str = "raise",
+    ) -> BlockEventStream:
+        """Stream committed blocks from one peer (Fabric's deliver service).
+
+        ``start_block=N`` replays the chain from block ``N`` before going
+        live; ``checkpoint=`` resumes a previous stream with no gaps and no
+        duplicates; with neither, the stream starts at the live tip.
+        Events arrive at commit instants on the DES transport and inline on
+        the synchronous one; consume via callback (``stream.on_event``) or
+        by iterating (non-blocking drain).
+        """
+
+        peer = _peer_at(self.channel, peer_index)
+        start = _resolve_start(checkpoint, start_block, peer.ledger.height)
+        return BlockEventStream(
+            peer,
+            start,
+            schedule=self.transport.delivery_schedule(),
+            buffer_limit=buffer_limit,
+            overflow=overflow,
+        )
 
     def __repr__(self) -> str:
         return (
@@ -135,6 +197,42 @@ class Contract:
         if not status.succeeded:
             raise commit_error_for(status)
         return tx.result()
+
+    def contract_events(
+        self,
+        event_name: Optional[str] = None,
+        start_block: Optional[int] = None,
+        checkpoint: Optional[Checkpoint] = None,
+        valid_only: bool = True,
+        peer_index: int = 0,
+        buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+        overflow: str = "raise",
+    ) -> ContractEventStream:
+        """Stream this chaincode's committed events (``ctx.events.set``).
+
+        Delivers only events emitted by this chaincode, optionally only
+        those named ``event_name``, and — by default — only from
+        transactions the committer validated (``valid_only=False`` also
+        surfaces events of rejected transactions, e.g. for auditing MVCC
+        losses on vanilla Fabric).  ``start_block`` replays history;
+        ``checkpoint`` resumes exactly after the last delivered event, even
+        mid-block.
+        """
+
+        peer = _peer_at(self.channel, peer_index)
+        start = _resolve_start(checkpoint, start_block, peer.ledger.height)
+        return ContractEventStream(
+            peer,
+            start,
+            EventFilter(
+                chaincode=self.chaincode_name,
+                event_name=event_name,
+                valid_only=valid_only,
+            ),
+            schedule=self.transport.delivery_schedule(),
+            buffer_limit=buffer_limit,
+            overflow=overflow,
+        )
 
     def describe(self) -> dict:
         """Per-transaction metadata of the deployed chaincode.

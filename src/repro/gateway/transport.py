@@ -137,6 +137,19 @@ class Transport(ABC):
 
         return 0.0
 
+    def delivery_schedule(self):
+        """How event-service deliveries run on this transport.
+
+        Clockless transports deliver inline (synchronously at publish);
+        the DES transport overrides this to schedule deliveries as
+        zero-delay events at commit instants — see
+        :mod:`repro.events.scheduling`.
+        """
+
+        from ..events.scheduling import InlineSchedule
+
+        return InlineSchedule()
+
     @abstractmethod
     def submit_async(
         self,

@@ -5,8 +5,9 @@ discrete-event network exactly the way the paper runs Hyperledger Caliper
 v0.1.0 (§7.2): four open-loop clients submit the configured number of
 transactions at the configured aggregate rate through the Gateway API
 (``Contract.submit_async``); the ledger is pre-populated with every key the
-workload will read; metrics are collected from the anchor peer's commit
-events until every submitted transaction has resolved.
+workload will read; metrics are collected through the Gateway event service
+(``gateway.block_events()``, delivering at commit instants) until every
+submitted transaction has resolved.
 """
 
 from __future__ import annotations
@@ -92,10 +93,12 @@ def run_workload(
     plan = generate_plan(spec)
     populate_ledger(network, keys_to_populate(spec, plan))
 
+    gateway = Gateway.connect(network)
     collector = MetricsCollector(env, expected=len(plan))
-    network.anchor_peer.events.subscribe(collector.on_block)
+    events = gateway.block_events()
+    collector.observe(events)
 
-    contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
+    contract = gateway.get_contract(IOT_CHAINCODE_NAME)
     per_client: dict[int, list[PlannedTx]] = {}
     for tx in plan:
         per_client.setdefault(tx.client, []).append(tx)
@@ -103,6 +106,7 @@ def run_workload(
         env.process(_client_process(env, contract, client_index, transactions, collector))
 
     env.run(until=collector.done)
+    events.close()
     if not collector.done.triggered:
         raise RuntimeError(
             f"run ended with {len(collector.statuses)}/{len(plan)} transactions resolved"

@@ -66,8 +66,23 @@ class MetricsCollector:
 
     # -- wiring -------------------------------------------------------------------
 
+    def observe(self, stream) -> "MetricsCollector":
+        """Attach to an event-service block stream (callback style).
+
+        The canonical wiring: ``collector.observe(gateway.block_events())``
+        records every commit the anchor peer publishes from now on.
+        """
+
+        stream.on_event(self.on_block_event)
+        return self
+
+    def on_block_event(self, event) -> None:
+        """Event-service listener: one :class:`~repro.events.BlockEvent`."""
+
+        self.on_block(event.committed, event.peer_name)
+
     def on_block(self, committed: CommittedBlock, peer_name: str) -> None:
-        """EventHub subscriber: record every transaction in the block."""
+        """Record every transaction of one committed block."""
 
         self.blocks_seen += 1
         self.block_fills.append(len(committed.block))

@@ -1,0 +1,98 @@
+"""Shared fixtures for the event-service tests.
+
+``Marking`` is the canonical event-emitting contract: every ``mark`` writes
+a distinct key (so vanilla MVCC never rejects it) and emits one ``marked``
+event carrying the key; ``quiet`` writes without emitting.  ``Rmw`` does a
+read-modify-write of one hot key, the classic MVCC-conflict shape, used to
+test validity filtering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import NetworkConfig, OrdererConfig, TopologyConfig
+from repro.contract import Contract, transaction
+from repro.fabric.localnet import LocalNetwork
+from repro.fabric.network import SimulatedNetwork
+from repro.gateway import Gateway
+from repro.sim.engine import Environment
+
+
+class Marking(Contract):
+    name = "marking"
+
+    @transaction
+    def mark(self, ctx, key: str):
+        ctx.state.put(key, {"seen": True})
+        ctx.events.set("marked", {"key": key})
+        return {"key": key}
+
+    @transaction
+    def tag(self, ctx, key: str):
+        ctx.state.put(key, {"tagged": True})
+        ctx.events.set("tagged", {"key": key})
+        return {"key": key}
+
+    @transaction
+    def quiet(self, ctx, key: str):
+        ctx.state.put(key, {"quiet": True})
+        return {"key": key}
+
+
+class Rmw(Contract):
+    name = "rmw"
+
+    @transaction
+    def bump(self, ctx, note: str):
+        doc = ctx.state.get("hot") or {"count": 0}
+        ctx.state.put("hot", {"count": doc["count"] + 1})
+        ctx.events.set("bumped", {"note": note})
+        return {}
+
+
+def tiny_config(block_size: int = 4) -> NetworkConfig:
+    return NetworkConfig(
+        topology=TopologyConfig(num_orgs=1, peers_per_org=1),
+        orderer=OrdererConfig(max_message_count=block_size),
+    )
+
+
+@pytest.fixture
+def local_net():
+    network = LocalNetwork(tiny_config())
+    network.deploy(Marking())
+    network.deploy(Rmw())
+    return network
+
+
+@pytest.fixture
+def local_gateway(local_net):
+    return Gateway.connect(local_net)
+
+
+@pytest.fixture
+def des_net():
+    env = Environment()
+    network = SimulatedNetwork(env, tiny_config())
+    network.deploy(Marking())
+    network.deploy(Rmw())
+    return network
+
+
+@pytest.fixture
+def des_gateway(des_net):
+    return Gateway.connect(des_net)
+
+
+def submit_marks(gateway: Gateway, count: int, batch: int = 4, prefix: str = "k") -> None:
+    """Submit ``count`` mark transactions in batches that share blocks."""
+
+    contract = gateway.get_contract("marking")
+    for base in range(0, count, batch):
+        txs = [
+            contract.submit_async("mark", f"{prefix}{index}")
+            for index in range(base, min(base + batch, count))
+        ]
+        for tx in txs:
+            assert tx.commit_status().succeeded

@@ -1,0 +1,141 @@
+"""Property tests: checkpoint-resumed streams see no gaps and no duplicates.
+
+One committed chain is built per transport (sync and DES); hypothesis then
+draws arbitrary start positions and split points, and every resumed stream
+must reproduce exactly the reference suffix — block streams at block
+granularity, contract streams at (block, tx) granularity, including resume
+positions that land mid-block or on eventless transactions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import BlockEventStream, Checkpoint, ContractEventStream, EventFilter
+from repro.fabric.localnet import LocalNetwork
+from repro.fabric.network import SimulatedNetwork
+from repro.gateway import Gateway
+from repro.sim.engine import Environment
+
+from .conftest import Marking, Rmw, tiny_config
+
+#: Lazily built committed chains, one per transport (hypothesis examples
+#: must not rebuild the network: they only open replay streams over it).
+_CHAINS: dict = {}
+
+
+def _build_chain(transport: str):
+    if transport == "local":
+        network = LocalNetwork(tiny_config(block_size=4))
+    else:
+        network = SimulatedNetwork(Environment(), tiny_config(block_size=4))
+    network.deploy(Marking())
+    network.deploy(Rmw())
+    gateway = Gateway.connect(network)
+    contract = gateway.get_contract("marking")
+    # A mixed chain: events, differently named events, and eventless txs.
+    pending = []
+    for index in range(18):
+        function = ("mark", "tag", "quiet")[index % 3]
+        pending.append(contract.submit_async(function, f"k{index}"))
+        if len(pending) == 4:
+            for tx in pending:
+                assert tx.commit_status().succeeded
+            pending.clear()
+    for tx in pending:
+        assert tx.commit_status().succeeded
+    if transport == "des":
+        network.env.run()
+    return network
+
+
+def chain(transport: str):
+    if transport not in _CHAINS:
+        _CHAINS[transport] = _build_chain(transport)
+    return _CHAINS[transport]
+
+
+def anchor(transport: str):
+    return chain(transport).channel.anchor_peer
+
+
+def reference_events(transport: str):
+    stream = ContractEventStream(
+        anchor(transport), Checkpoint(0), EventFilter(chaincode="marking")
+    )
+    events = list(stream)
+    stream.close()
+    return events
+
+
+@pytest.mark.parametrize("transport", ("local", "des"))
+class TestBlockStreamResume:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_resume_is_gap_free_and_duplicate_free(self, transport, data):
+        peer = anchor(transport)
+        height = peer.ledger.height
+        assert height >= 4
+        start = data.draw(st.integers(min_value=0, max_value=height), label="start")
+        split = data.draw(st.integers(min_value=0, max_value=height - start), label="split")
+
+        first = BlockEventStream(peer, Checkpoint(start))
+        head = [next(first) for _ in range(split)]
+        resumed = BlockEventStream(peer, first.checkpoint())
+        tail = list(resumed)
+        first.close()
+        resumed.close()
+
+        assert [event.block_number for event in head + tail] == list(range(start, height))
+
+
+@pytest.mark.parametrize("transport", ("local", "des"))
+class TestContractStreamResume:
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_split_resume_reproduces_reference(self, transport, data):
+        peer = anchor(transport)
+        reference = reference_events(transport)
+        assert len(reference) >= 8
+        split = data.draw(
+            st.integers(min_value=0, max_value=len(reference)), label="split"
+        )
+
+        first = ContractEventStream(
+            peer, Checkpoint(0), EventFilter(chaincode="marking")
+        )
+        head = [next(first) for _ in range(split)]
+        resumed = ContractEventStream(
+            peer, first.checkpoint(), EventFilter(chaincode="marking")
+        )
+        tail = list(resumed)
+        first.close()
+        resumed.close()
+
+        assert head + tail == reference
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_mid_block_start_positions(self, transport, data):
+        """Starting from any (block, tx) coordinate — including eventless
+        transactions and past-the-end offsets — delivers exactly the
+        reference events at or after that position."""
+
+        peer = anchor(transport)
+        reference = reference_events(transport)
+        height = peer.ledger.height
+        block = data.draw(st.integers(min_value=0, max_value=height - 1), label="block")
+        tx_index = data.draw(st.integers(min_value=0, max_value=6), label="tx_index")
+
+        stream = ContractEventStream(
+            peer, Checkpoint(block, tx_index), EventFilter(chaincode="marking")
+        )
+        events = list(stream)
+        stream.close()
+
+        expected = [
+            event
+            for event in reference
+            if (event.block_number, event.tx_index) >= (block, tx_index)
+        ]
+        assert events == expected

@@ -1,0 +1,153 @@
+"""The Gateway event surface: block_events / contract_events on both
+transports, filtering, and commit-instant delivery on the DES clock."""
+
+import pytest
+
+from repro.gateway.errors import GatewayError
+
+from .conftest import submit_marks
+
+
+class TestBlockEvents:
+    def test_replay_then_live_local(self, local_gateway):
+        submit_marks(local_gateway, 8)
+        stream = local_gateway.block_events(start_block=0)
+        replayed = [event.block_number for event in stream]
+        assert replayed == [0, 1]
+        submit_marks(local_gateway, 4, prefix="live")
+        assert [event.block_number for event in stream] == [2]
+
+    def test_default_is_live_only(self, local_gateway):
+        submit_marks(local_gateway, 8)
+        stream = local_gateway.block_events()
+        assert list(stream) == []
+        submit_marks(local_gateway, 4, prefix="live")
+        assert [event.block_number for event in stream] == [2]
+
+    def test_block_event_statuses(self, local_gateway):
+        submit_marks(local_gateway, 4)
+        stream = local_gateway.block_events(start_block=0)
+        event = next(stream)
+        statuses = event.statuses()
+        assert len(statuses) == 4
+        assert all(status.succeeded for status in statuses)
+
+    def test_checkpoint_and_start_block_are_exclusive(self, local_gateway):
+        from repro.events import Checkpoint
+
+        with pytest.raises(GatewayError):
+            local_gateway.block_events(start_block=0, checkpoint=Checkpoint(0))
+
+    def test_peer_index_is_absolute_never_relative(self, local_gateway):
+        """Same bug class as Ledger.block_at: -1 must not silently mean
+        "last peer", and out-of-range must raise a Gateway error."""
+
+        for bad_index in (-1, 99):
+            with pytest.raises(GatewayError, match="out of range"):
+                local_gateway.block_events(peer_index=bad_index)
+            with pytest.raises(GatewayError, match="out of range"):
+                local_gateway.get_contract("marking").contract_events(peer_index=bad_index)
+
+    def test_replay_then_live_des(self, des_gateway, des_net):
+        submit_marks(des_gateway, 8)
+        stream = des_gateway.block_events(start_block=0)
+        # Historical blocks stream synchronously — no sim driving needed.
+        assert [event.block_number for event in stream] == [0, 1]
+        submit_marks(des_gateway, 4, prefix="live")
+        des_net.env.run()  # live deliveries run at commit instants
+        assert [event.block_number for event in stream] == [2]
+
+    def test_des_delivery_at_commit_instants(self, des_gateway, des_net):
+        """Callbacks run at exactly the block's commit time on the sim clock."""
+
+        observed = []
+        des_gateway.block_events().on_event(
+            lambda event: observed.append((des_net.env.now, event.commit_time))
+        )
+        submit_marks(des_gateway, 8)
+        des_net.env.run()
+        assert len(observed) == 2
+        for now, commit_time in observed:
+            assert now == commit_time
+
+
+class TestContractEvents:
+    def test_only_matching_committed_events(self, local_gateway):
+        """The acceptance-criteria shape: matching chaincode, matching name,
+        committed transactions only."""
+
+        marking = local_gateway.get_contract("marking")
+        rmw = local_gateway.get_contract("rmw")
+        stream = marking.contract_events(start_block=0)
+
+        marking.submit("mark", "a")
+        marking.submit("tag", "b")
+        marking.submit("quiet", "c")  # no event set
+        rmw.submit("bump", "other-chaincode")
+
+        events = list(stream)
+        assert [(event.chaincode, event.event_name) for event in events] == [
+            ("marking", "marked"),
+            ("marking", "tagged"),
+        ]
+        assert all(event.is_valid for event in events)
+
+    def test_event_name_filter(self, local_gateway):
+        marking = local_gateway.get_contract("marking")
+        stream = marking.contract_events(event_name="tagged", start_block=0)
+        marking.submit("mark", "a")
+        marking.submit("tag", "b")
+        events = list(stream)
+        assert [event.event_name for event in events] == ["tagged"]
+        assert events[0].payload == {"key": "b"}
+
+    def test_invalid_tx_events_suppressed_by_default(self, local_gateway):
+        """Two conflicting read-modify-writes share a block on vanilla
+        Fabric: one commits, one dies of MVCC — only the winner's event is
+        delivered (valid_only=False surfaces the loser's too)."""
+
+        rmw = local_gateway.get_contract("rmw")
+        everything = rmw.contract_events(start_block=0, valid_only=False)
+        committed_only = rmw.contract_events(start_block=0)
+
+        first = rmw.submit_async("bump", "one")
+        second = rmw.submit_async("bump", "two")
+        codes = {tx.commit_status().code.name for tx in (first, second)}
+        assert codes == {"VALID", "MVCC_READ_CONFLICT"}
+
+        assert len(list(committed_only)) == 1
+        both = list(everything)
+        assert len(both) == 2
+        assert {event.code.name for event in both} == {"VALID", "MVCC_READ_CONFLICT"}
+
+    def test_contract_events_on_des(self, des_gateway, des_net):
+        marking = des_gateway.get_contract("marking")
+        stream = marking.contract_events(start_block=0)
+        submit_marks(des_gateway, 8)
+        des_net.env.run()
+        events = list(stream)
+        assert len(events) == 8
+        # Ordering is *commit* order (network latencies shuffle submission
+        # order within a block), but delivery is complete and gap-free.
+        assert {event.payload["key"] for event in events} == {f"k{i}" for i in range(8)}
+        positions = [(event.block_number, event.tx_index) for event in events]
+        assert positions == sorted(positions) and len(set(positions)) == 8
+
+    def test_checkpoint_resume_mid_block(self, local_gateway):
+        marking = local_gateway.get_contract("marking")
+        stream = marking.contract_events(start_block=0)
+        submit_marks(local_gateway, 8)
+
+        first_two = [next(stream), next(stream)]
+        resumed = marking.contract_events(checkpoint=stream.checkpoint())
+        rest = list(resumed)
+
+        keys = [event.payload["key"] for event in first_two + rest]
+        assert keys == [f"k{i}" for i in range(8)]
+
+    def test_callback_style(self, local_gateway):
+        marking = local_gateway.get_contract("marking")
+        seen = []
+        marking.contract_events().on_event(seen.append)
+        marking.submit("mark", "x")
+        assert [event.event_name for event in seen] == ["marked"]

@@ -1,0 +1,184 @@
+"""Stream mechanics: iteration, callbacks, bounded buffers, checkpoints."""
+
+import pytest
+
+from repro.events import (
+    BlockEventStream,
+    Checkpoint,
+    ContractEventStream,
+    EventFilter,
+    StreamClosedError,
+    StreamOverflowError,
+)
+
+from .conftest import submit_marks
+
+
+def block_stream(net, **kwargs):
+    return BlockEventStream(net.anchor_peer, Checkpoint(0), **kwargs)
+
+
+def marked_stream(net, **kwargs):
+    return ContractEventStream(
+        net.anchor_peer, Checkpoint(0), EventFilter(chaincode="marking"), **kwargs
+    )
+
+
+class TestIteration:
+    def test_iteration_drains_buffer(self, local_gateway, local_net):
+        submit_marks(local_gateway, 8)
+        stream = block_stream(local_net)
+        assert [event.block_number for event in stream] == [0, 1]
+        # Drained: a second pass yields nothing until new blocks commit.
+        assert list(stream) == []
+        submit_marks(local_gateway, 4, prefix="more")
+        assert [event.block_number for event in stream] == [2]
+
+    def test_pending_counts_buffered(self, local_gateway, local_net):
+        submit_marks(local_gateway, 8)
+        stream = block_stream(local_net)
+        assert stream.pending == 2
+        next(stream)
+        assert stream.pending == 1
+
+
+class TestCallbacks:
+    def test_callback_receives_backlog_then_live(self, local_gateway, local_net):
+        submit_marks(local_gateway, 4)
+        stream = block_stream(local_net)
+        seen = []
+        stream.on_event(seen.append)
+        submit_marks(local_gateway, 4, prefix="live")
+        assert [event.block_number for event in seen] == [0, 1]
+
+    def test_callback_on_closed_stream_rejected(self, local_net):
+        stream = block_stream(local_net)
+        stream.close()
+        with pytest.raises(StreamClosedError):
+            stream.on_event(lambda event: None)
+
+    def test_raising_listener_does_not_advance_checkpoint(self, local_gateway, local_net):
+        """A consumer that crashes mid-event and resumes from checkpoint()
+        must see the failed event again — delivery is at-least-once."""
+
+        stream = block_stream(local_net)
+        stream.on_event(lambda event: (_ for _ in ()).throw(RuntimeError("boom")))
+        with pytest.raises(RuntimeError):
+            submit_marks(local_gateway, 4)
+        assert stream.checkpoint() == Checkpoint(0)  # block 0 not consumed
+        resumed = BlockEventStream(local_net.anchor_peer, stream.checkpoint())
+        assert [event.block_number for event in resumed] == [0]
+
+    def test_raising_listener_backlog_flush_keeps_event_buffered(
+        self, local_gateway, local_net
+    ):
+        submit_marks(local_gateway, 4)
+        stream = block_stream(local_net)
+
+        def explode(event):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            stream.on_event(explode)
+        # The event survived the failed flush: buffered, checkpoint intact.
+        assert stream.pending == 1
+        assert stream.checkpoint() == Checkpoint(0)
+
+
+class TestBoundedBuffer:
+    def test_overflow_raise_policy_fails_stream_not_publisher(self, local_gateway, local_net):
+        """Overflow under "raise" never breaks the commit path: the submit
+        succeeds, the stream detaches, drains its buffer, then raises."""
+
+        stream = block_stream(local_net, buffer_limit=1, overflow="raise")
+        submit_marks(local_gateway, 12)  # commits fine despite the overflow
+        assert stream.closed
+        assert next(stream).block_number == 0  # buffered events drain first
+        with pytest.raises(StreamOverflowError):
+            next(stream)
+        # Recovery: everything undelivered is still on the ledger.
+        resumed = BlockEventStream(local_net.anchor_peer, stream.checkpoint())
+        assert [event.block_number for event in resumed] == [1, 2]
+
+    def test_overflow_does_not_starve_co_subscribers(self, local_gateway, local_net):
+        """A failing stream must not stop other streams on the same peer."""
+
+        block_stream(local_net, buffer_limit=1, overflow="raise")
+        healthy = block_stream(local_net)
+        submit_marks(local_gateway, 12)
+        assert [event.block_number for event in healthy] == [0, 1, 2]
+
+    def test_overflow_drop_oldest(self, local_gateway, local_net):
+        stream = block_stream(local_net, buffer_limit=1, overflow="drop_oldest")
+        submit_marks(local_gateway, 12)
+        assert stream.dropped == 2
+        assert [event.block_number for event in stream] == [2]
+
+    def test_overflow_drop_newest(self, local_gateway, local_net):
+        stream = block_stream(local_net, buffer_limit=1, overflow="drop_newest")
+        submit_marks(local_gateway, 12)
+        assert stream.dropped == 2
+        assert [event.block_number for event in stream] == [0]
+
+    @pytest.mark.parametrize("policy", ("drop_oldest", "drop_newest"))
+    def test_checkpoint_pinned_at_first_drop(self, local_gateway, local_net, policy):
+        """Even after draining past the loss, the checkpoint stays pinned at
+        the first dropped event, so a resumed stream recovers it from the
+        ledger (at-least-once across overflow)."""
+
+        stream = block_stream(local_net, buffer_limit=1, overflow=policy)
+        submit_marks(local_gateway, 12)
+        assert stream.dropped == 2
+        drained = [event.block_number for event in stream]
+        assert drained  # the consumer drained *past* the gap
+        resumed = BlockEventStream(local_net.anchor_peer, stream.checkpoint())
+        recovered = [event.block_number for event in resumed]
+        assert sorted(set(drained) | set(recovered)) == [0, 1, 2]
+
+    def test_bad_policy_and_limit_rejected(self, local_net):
+        with pytest.raises(ValueError):
+            block_stream(local_net, overflow="spill")
+        with pytest.raises(ValueError):
+            block_stream(local_net, buffer_limit=0)
+
+
+class TestCheckpointing:
+    def test_checkpoint_starts_at_origin(self, local_net):
+        assert block_stream(local_net).checkpoint() == Checkpoint(0)
+
+    def test_checkpoint_advances_only_on_delivery(self, local_gateway, local_net):
+        submit_marks(local_gateway, 8)
+        stream = block_stream(local_net)
+        assert stream.checkpoint() == Checkpoint(0)  # buffered, not delivered
+        next(stream)
+        assert stream.checkpoint() == Checkpoint(1)
+        next(stream)
+        assert stream.checkpoint() == Checkpoint(2)
+
+    def test_contract_checkpoint_is_tx_granular(self, local_gateway, local_net):
+        submit_marks(local_gateway, 4)
+        stream = marked_stream(local_net)
+        first = next(stream)
+        assert stream.checkpoint() == Checkpoint(first.block_number, first.tx_index + 1)
+
+    def test_checkpoint_dict_roundtrip(self):
+        checkpoint = Checkpoint(7, 3)
+        assert Checkpoint.from_dict(checkpoint.to_dict()) == checkpoint
+
+
+class TestClose:
+    def test_close_keeps_buffer_drainable(self, local_gateway, local_net):
+        submit_marks(local_gateway, 8)
+        stream = block_stream(local_net)
+        stream.close()
+        submit_marks(local_gateway, 4, prefix="after")
+        assert [event.block_number for event in stream] == [0, 1]
+
+    def test_context_manager_closes(self, local_gateway, local_net):
+        with block_stream(local_net) as stream:
+            assert not stream.closed
+        assert stream.closed
+
+    def test_repr_mentions_state(self, local_net):
+        stream = block_stream(local_net)
+        assert "open" in repr(stream) and "@0.0" in repr(stream)

@@ -1,0 +1,138 @@
+"""EventHub semantics: unsubscribe edge cases and the deprecation shim."""
+
+import warnings
+
+import pytest
+
+from repro.common.deprecation import reset_deprecation_warnings
+from repro.fabric.block import Block, BlockMetadata, CommittedBlock
+
+from .helpers import build_peer, endorsed_tx, write_rwset
+
+
+@pytest.fixture(autouse=True)
+def rearm_latches():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+def committed_block(peer, number=0, nonce=1):
+    tx = endorsed_tx(peer, write_rwset(("key", {"n": nonce})), nonce)
+    block = Block.build(number, b"\x00" * 32, (tx,))
+    return CommittedBlock(block=block, metadata=BlockMetadata(number))
+
+
+class TestUnsubscribeDuringPublish:
+    def test_listener_removed_mid_publish_still_gets_current_block(self):
+        """Publish iterates a snapshot: unsubscribing a later listener from
+        an earlier one's callback only affects *subsequent* blocks."""
+
+        peer = build_peer()
+        hub = peer.events
+        seen = []
+        unsubscribe_second = None
+
+        def first(committed, peer_name):
+            seen.append(("first", committed.block.number))
+            unsubscribe_second()
+
+        def second(committed, peer_name):
+            seen.append(("second", committed.block.number))
+
+        hub.subscribe_internal(first)
+        unsubscribe_second = hub.subscribe_internal(second)
+
+        hub.publish(committed_block(peer, number=0))
+        hub.publish(committed_block(peer, number=1, nonce=2))
+        assert seen == [("first", 0), ("second", 0), ("first", 1)]
+
+    def test_listener_unsubscribing_itself_mid_publish(self):
+        peer = build_peer()
+        hub = peer.events
+        seen = []
+        unsubscribe = None
+
+        def once(committed, peer_name):
+            seen.append(committed.block.number)
+            unsubscribe()
+
+        unsubscribe = hub.subscribe_internal(once)
+        hub.publish(committed_block(peer, number=0))
+        hub.publish(committed_block(peer, number=1, nonce=2))
+        assert seen == [0]
+
+
+class TestDoubleUnsubscribe:
+    def test_double_unsubscribe_is_a_noop(self):
+        peer = build_peer()
+        hub = peer.events
+        unsubscribe = hub.subscribe_internal(lambda committed, peer_name: None)
+        unsubscribe()
+        unsubscribe()  # second call: silent no-op
+
+    def test_double_unsubscribe_spares_a_reregistration(self):
+        """Each unsubscribe token is bound to one registration: calling it
+        twice must not strip a *second* registration of the same callable."""
+
+        peer = build_peer()
+        hub = peer.events
+        seen = []
+
+        def listener(committed, peer_name):
+            seen.append(committed.block.number)
+
+        first_token = hub.subscribe_internal(listener)
+        hub.subscribe_internal(listener)  # registered twice
+        first_token()
+        first_token()  # must not remove the second registration
+        hub.publish(committed_block(peer, number=0))
+        assert seen == [0]
+
+
+class TestDeprecationShim:
+    def test_external_subscribe_warns_once_and_points_at_gateway(self):
+        peer = build_peer()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            peer.events.subscribe(lambda committed, peer_name: None)
+            peer.events.subscribe(lambda committed, peer_name: None)
+        deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "gateway.block_events()" in str(deprecations[0].message)
+
+    def test_deprecated_subscribe_still_delivers(self):
+        peer = build_peer()
+        seen = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            unsubscribe = peer.events.subscribe(
+                lambda committed, peer_name: seen.append(committed.block.number)
+            )
+        peer.events.publish(committed_block(peer, number=0))
+        unsubscribe()
+        peer.events.publish(committed_block(peer, number=1, nonce=2))
+        assert seen == [0]
+
+    def test_internal_subscribe_is_silent(self):
+        peer = build_peer()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            peer.events.subscribe_internal(lambda committed, peer_name: None)
+        assert [w for w in caught if issubclass(w.category, DeprecationWarning)] == []
+
+    def test_event_service_consumers_trigger_no_warning(self):
+        """The migrated stack — Channel tracking, Gateway streams — must not
+        cross the deprecated surface."""
+
+        from repro.fabric.localnet import LocalNetwork
+        from repro.gateway import Gateway
+        from repro.workload.iot import IoTChaincode
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            network = LocalNetwork()
+            network.deploy(IoTChaincode())
+            stream = Gateway.connect(network).block_events(start_block=0)
+            stream.close()
+        assert [w for w in caught if issubclass(w.category, DeprecationWarning)] == []

@@ -74,6 +74,18 @@ class TestAppend:
         with pytest.raises(LedgerError):
             ledger.block_at(9)
 
+    def test_block_at_rejects_negative_numbers(self):
+        """Regression: Python's negative indexing used to silently serve
+        blocks from the end of the chain — block numbers are absolute."""
+
+        ledger = Ledger()
+        ledger.append_block(
+            committed_block(0, ledger.last_hash, [make_tx(1)], [ValidationCode.VALID])
+        )
+        for number in (-1, -2):
+            with pytest.raises(LedgerError, match="non-negative"):
+                ledger.block_at(number)
+
 
 class TestHistoryAndReplay:
     def _ledger_with_writes(self):

@@ -222,7 +222,9 @@ class TestCommitBookkeeping:
     def test_events_published_on_apply(self):
         peer = build_peer()
         seen = []
-        peer.events.subscribe(lambda committed, name: seen.append((name, committed.block.number)))
+        peer.events.subscribe_internal(
+            lambda committed, name: seen.append((name, committed.block.number))
+        )
         tx = endorsed_tx(peer, write_rwset(("K", {})), 1)
         peer.validate_and_commit(make_block(peer, [tx]))
         assert seen == [(peer.name, 0)]

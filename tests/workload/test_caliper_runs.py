@@ -91,12 +91,13 @@ class TestTopologies:
         network.deploy(IoTChaincode())
         plan = generate_plan(spec)
         populate_ledger(network, keys_to_populate(spec, plan))
+        gateway = Gateway.connect(network)
         collector = MetricsCollector(env, expected=len(plan))
-        network.anchor_peer.events.subscribe(collector.on_block)
+        collector.observe(gateway.block_events())
         per_client = {}
         for tx in plan:
             per_client.setdefault(tx.client, []).append(tx)
-        contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
+        contract = gateway.get_contract(IOT_CHAINCODE_NAME)
         for client_index, transactions in sorted(per_client.items()):
             env.process(
                 _client_process(env, contract, client_index, transactions, collector)
