@@ -16,9 +16,27 @@ import pytest
 
 from repro.bench.calibration import calibrated_cost_model
 from repro.bench.experiments import ExperimentScale
+from repro.workload.runner import Benchmark, Round
 
 #: Transactions per run in benchmark mode (paper: 10,000).
 BENCH_TRANSACTIONS = 1000
+
+
+def one_round(spec, config, cost, **round_kwargs):
+    """Run one declared Round and return its BenchmarkResult."""
+
+    return Benchmark([Round(spec, config, **round_kwargs)], cost=cost).run().results[0]
+
+
+def sweep_rounds(keyed_rounds, cost):
+    """Run a declared sweep — ``[(key, Round), ...]`` — as one Benchmark.
+
+    Returns ``{key: BenchmarkResult}``, preserving declaration order.
+    """
+
+    keys = [key for key, _ in keyed_rounds]
+    report = Benchmark([round_ for _, round_ in keyed_rounds], cost=cost).run()
+    return dict(zip(keys, report.results))
 
 
 @pytest.fixture(scope="session")

@@ -8,20 +8,18 @@
   loss can reordering recover without CRDTs?
 * **streaming commit (StreamChain [18])** — block size 1 as the
   latency-optimal degenerate point of the Figure 3 sweep.
+
+Every ablation is declared as a :class:`repro.workload.runner.Round`; the
+reordering ablation swaps the ordering service through ``Round.ordering_cls``.
 """
 
 import pytest
 
 from repro.common.config import CRDTConfig, NetworkConfig, OrdererConfig, TopologyConfig
 from repro.fabric.reorder import ReorderingOrderingService
-from repro.sim import Environment
-from repro.workload.caliper import build_network, populate_ledger, run_workload
-from repro.workload.generator import generate_plan, keys_to_populate
-from repro.workload.iot import IoTChaincode
-from repro.workload.metrics import MetricsCollector
 from repro.workload.spec import WorkloadSpec, table1_spec, table5_spec
 
-from conftest import run_once
+from conftest import one_round, run_once
 
 ABLATION_TXS = 600
 
@@ -46,18 +44,18 @@ class TestSeedAblation:
 
         spec = table1_spec(total_transactions=ABLATION_TXS, seed=7, accumulate=True)
         config = _config(25, True, CRDTConfig(seed_from_state=seed_from_state))
-        result = run_once(benchmark, lambda: run_workload(spec, config, cost=cost_model))
+        result = run_once(benchmark, lambda: one_round(spec, config, cost_model))
         assert result.successful == ABLATION_TXS
         benchmark.extra_info["merge_ops"] = result.merge_ops
         benchmark.extra_info["seed_from_state"] = seed_from_state
 
     def test_seeding_costs_more_merge_work(self, cost_model):
         spec = table1_spec(total_transactions=200, seed=7, accumulate=True)
-        unseeded = run_workload(
-            spec, _config(25, True, CRDTConfig(seed_from_state=False)), cost=cost_model
+        unseeded = one_round(
+            spec, _config(25, True, CRDTConfig(seed_from_state=False)), cost_model
         )
-        seeded = run_workload(
-            spec, _config(25, True, CRDTConfig(seed_from_state=True)), cost=cost_model
+        seeded = one_round(
+            spec, _config(25, True, CRDTConfig(seed_from_state=True)), cost_model
         )
         # Seeding re-absorbs the whole committed document every block: the
         # per-block documents are larger, so list-scan work grows (while op
@@ -76,18 +74,18 @@ class TestDedupAblation:
 
         spec = table1_spec(total_transactions=ABLATION_TXS, seed=7, accumulate=True)
         config = _config(25, True, CRDTConfig(dedup_identical=dedup))
-        result = run_once(benchmark, lambda: run_workload(spec, config, cost=cost_model))
+        result = run_once(benchmark, lambda: one_round(spec, config, cost_model))
         assert result.successful == ABLATION_TXS
         benchmark.extra_info["dedup"] = dedup
         benchmark.extra_info["merge_ops"] = result.merge_ops
 
     def test_naive_ids_amplify_work(self, cost_model):
         spec = table1_spec(total_transactions=200, seed=7, accumulate=True)
-        deduped = run_workload(
-            spec, _config(25, True, CRDTConfig(dedup_identical=True)), cost=cost_model
+        deduped = one_round(
+            spec, _config(25, True, CRDTConfig(dedup_identical=True)), cost_model
         )
-        naive = run_workload(
-            spec, _config(25, True, CRDTConfig(dedup_identical=False)), cost=cost_model
+        naive = one_round(
+            spec, _config(25, True, CRDTConfig(dedup_identical=False)), cost_model
         )
         assert naive.merge_ops > deduped.merge_ops
 
@@ -95,30 +93,13 @@ class TestDedupAblation:
 class TestReorderAblation:
     def _run(self, cost_model, ordering_cls=None, conflict_pct=80.0):
         spec = table5_spec(conflict_pct, total_transactions=ABLATION_TXS, seed=7).with_crdt(False)
-        config = _config(50, False)
-        env = Environment()
-        kwargs = {"ordering_cls": ordering_cls} if ordering_cls else {}
-        from repro.fabric.network import SimulatedNetwork
-
-        network = SimulatedNetwork(env, config, cost=cost_model, **kwargs)
-        network.deploy(IoTChaincode())
-        plan = generate_plan(spec)
-        populate_ledger(network, keys_to_populate(spec, plan))
-        from repro.gateway import Gateway
-        from repro.workload.caliper import _client_process
-        from repro.workload.iot import IOT_CHAINCODE_NAME
-
-        gateway = Gateway.connect(network)
-        collector = MetricsCollector(env, expected=len(plan))
-        collector.observe(gateway.block_events())
-        contract = gateway.get_contract(IOT_CHAINCODE_NAME)
-        per_client = {}
-        for tx in plan:
-            per_client.setdefault(tx.client, []).append(tx)
-        for client_index, txs in sorted(per_client.items()):
-            env.process(_client_process(env, contract, client_index, txs, collector))
-        env.run(until=collector.done)
-        return collector.result("reorder-ablation")
+        return one_round(
+            spec,
+            _config(50, False),
+            cost_model,
+            ordering_cls=ordering_cls,
+            label="reorder-ablation",
+        )
 
     def test_reordering_cannot_rescue_hot_key_rmw(self, benchmark, cost_model):
         """The paper's argument against [34]: for read-modify-writes of one
@@ -143,9 +124,9 @@ class TestStreamingPoint:
 
         spec = WorkloadSpec(total_transactions=300, rate_tps=100.0)
         streaming = run_once(
-            benchmark, lambda: run_workload(spec, _config(1, True), cost=cost_model)
+            benchmark, lambda: one_round(spec, _config(1, True), cost_model)
         )
-        batched = run_workload(spec, _config(25, True), cost=cost_model)
+        batched = one_round(spec, _config(25, True), cost_model)
         assert streaming.successful == 300
         # Latency advantage at low rate...
         assert streaming.avg_latency_s < batched.avg_latency_s

@@ -2,16 +2,16 @@
 
 Paper series (revised): FabricCRDT throughput falls from 267 tx/s at 25
 txs/block to ~20 tx/s at 1000, while vanilla Fabric commits almost nothing
-(all transactions conflict).  Each benchmark regenerates one sweep point.
+(all transactions conflict).  Each benchmark regenerates one sweep point,
+declared as a :class:`repro.workload.runner.Round`.
 """
 
 import pytest
 
 from repro.bench.experiments import figure3
-from repro.workload.caliper import run_workload
 from repro.workload.spec import table1_spec
 
-from conftest import BENCH_TRANSACTIONS, run_once
+from conftest import BENCH_TRANSACTIONS, one_round, run_once
 
 BLOCK_SIZES = (25, 100, 400, 1000)
 
@@ -28,7 +28,7 @@ def test_fig3_fabriccrdt(benchmark, block_size, scale, cost_model):
 
     result = run_once(
         benchmark,
-        lambda: run_workload(spec, _config(scale, block_size, True), cost=cost_model),
+        lambda: one_round(spec, _config(scale, block_size, True), cost_model),
     )
     benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 1)
     benchmark.extra_info["avg_latency_s"] = round(result.avg_latency_s, 2)
@@ -44,7 +44,7 @@ def test_fig3_fabric(benchmark, block_size, scale, cost_model):
 
     result = run_once(
         benchmark,
-        lambda: run_workload(spec, _config(scale, block_size, False), cost=cost_model),
+        lambda: one_round(spec, _config(scale, block_size, False), cost_model),
     )
     benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 2)
     benchmark.extra_info["successful"] = result.successful

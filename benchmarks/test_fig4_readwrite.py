@@ -2,15 +2,16 @@
 
 Paper series: FabricCRDT throughput 264 (1R-1W) down to 106 (5R-5W); vanilla
 Fabric commits almost nothing at any setting (all transactions conflict).
+Sweeps are declared as :class:`repro.workload.runner.Benchmark` rounds.
 """
 
 import pytest
 
 from repro.bench.experiments import CRDT_BLOCK_SIZE, FABRIC_BLOCK_SIZE, _network_config
-from repro.workload.caliper import run_workload
+from repro.workload.runner import Round
 from repro.workload.spec import table2_spec
 
-from conftest import BENCH_TRANSACTIONS, run_once
+from conftest import BENCH_TRANSACTIONS, one_round, run_once, sweep_rounds
 
 READ_WRITE = ((1, 1), (3, 3), (5, 1), (5, 5))
 
@@ -20,9 +21,7 @@ def test_fig4_fabriccrdt(benchmark, reads, writes, scale, cost_model):
     spec = table2_spec(reads, writes, total_transactions=BENCH_TRANSACTIONS, seed=7)
     result = run_once(
         benchmark,
-        lambda: run_workload(
-            spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
-        ),
+        lambda: one_round(spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost_model),
     )
     benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 1)
     benchmark.extra_info["avg_latency_s"] = round(result.avg_latency_s, 2)
@@ -36,8 +35,8 @@ def test_fig4_fabric(benchmark, reads, writes, scale, cost_model):
     ).with_crdt(False)
     result = run_once(
         benchmark,
-        lambda: run_workload(
-            spec, _network_config(scale, FABRIC_BLOCK_SIZE, False), cost=cost_model
+        lambda: one_round(
+            spec, _network_config(scale, FABRIC_BLOCK_SIZE, False), cost_model
         ),
     )
     benchmark.extra_info["successful"] = result.successful
@@ -48,13 +47,21 @@ def test_fig4_more_writes_lower_throughput(benchmark, scale, cost_model):
     """Figure 4(a)'s shape: throughput decreases as the write-set grows."""
 
     def sweep():
-        points = {}
-        for reads, writes in ((1, 1), (3, 3), (5, 5)):
-            spec = table2_spec(reads, writes, total_transactions=BENCH_TRANSACTIONS, seed=7)
-            points[(reads, writes)] = run_workload(
-                spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
-            )
-        return points
+        return sweep_rounds(
+            [
+                (
+                    (reads, writes),
+                    Round(
+                        table2_spec(
+                            reads, writes, total_transactions=BENCH_TRANSACTIONS, seed=7
+                        ),
+                        _network_config(scale, CRDT_BLOCK_SIZE, True),
+                    ),
+                )
+                for reads, writes in ((1, 1), (3, 3), (5, 5))
+            ],
+            cost_model,
+        )
 
     points = run_once(benchmark, sweep)
     assert (

@@ -2,16 +2,17 @@
 
 Paper series: FabricCRDT throughput 219 (2 keys, depth 2) down to 100
 (6 keys, depth 6); vanilla Fabric does not touch JSON content, so its
-numbers are flat (and near zero: all transactions conflict).
+numbers are flat (and near zero: all transactions conflict).  Sweeps are
+declared as :class:`repro.workload.runner.Benchmark` rounds.
 """
 
 import pytest
 
 from repro.bench.experiments import CRDT_BLOCK_SIZE, FABRIC_BLOCK_SIZE, _network_config
-from repro.workload.caliper import run_workload
+from repro.workload.runner import Round
 from repro.workload.spec import table3_spec
 
-from conftest import BENCH_TRANSACTIONS, run_once
+from conftest import BENCH_TRANSACTIONS, one_round, run_once, sweep_rounds
 
 COMPLEXITY = ((2, 2), (4, 4), (6, 6))
 
@@ -21,9 +22,7 @@ def test_fig5_fabriccrdt(benchmark, keys, depth, scale, cost_model):
     spec = table3_spec(keys, depth, total_transactions=BENCH_TRANSACTIONS, seed=7)
     result = run_once(
         benchmark,
-        lambda: run_workload(
-            spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
-        ),
+        lambda: one_round(spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost_model),
     )
     benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 1)
     benchmark.extra_info["merge_ops"] = result.merge_ops
@@ -35,15 +34,21 @@ def test_fig5_fabric_insensitive_to_complexity(benchmark, scale, cost_model):
     objects' — its commit cost must not grow with complexity."""
 
     def sweep():
-        results = {}
-        for keys, depth in ((2, 2), (6, 6)):
-            spec = table3_spec(
-                keys, depth, total_transactions=BENCH_TRANSACTIONS, seed=7
-            ).with_crdt(False)
-            results[(keys, depth)] = run_workload(
-                spec, _network_config(scale, FABRIC_BLOCK_SIZE, False), cost=cost_model
-            )
-        return results
+        return sweep_rounds(
+            [
+                (
+                    (keys, depth),
+                    Round(
+                        table3_spec(
+                            keys, depth, total_transactions=BENCH_TRANSACTIONS, seed=7
+                        ).with_crdt(False),
+                        _network_config(scale, FABRIC_BLOCK_SIZE, False),
+                    ),
+                )
+                for keys, depth in ((2, 2), (6, 6))
+            ],
+            cost_model,
+        )
 
     results = run_once(benchmark, sweep)
     simple, complex_ = results[(2, 2)], results[(6, 6)]
@@ -54,13 +59,21 @@ def test_fig5_fabric_insensitive_to_complexity(benchmark, scale, cost_model):
 
 def test_fig5_complexity_degrades_crdt_throughput(benchmark, scale, cost_model):
     def sweep():
-        results = {}
-        for keys, depth in COMPLEXITY:
-            spec = table3_spec(keys, depth, total_transactions=BENCH_TRANSACTIONS, seed=7)
-            results[(keys, depth)] = run_workload(
-                spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
-            )
-        return results
+        return sweep_rounds(
+            [
+                (
+                    (keys, depth),
+                    Round(
+                        table3_spec(
+                            keys, depth, total_transactions=BENCH_TRANSACTIONS, seed=7
+                        ),
+                        _network_config(scale, CRDT_BLOCK_SIZE, True),
+                    ),
+                )
+                for keys, depth in COMPLEXITY
+            ],
+            cost_model,
+        )
 
     results = run_once(benchmark, sweep)
     tps = [results[c].throughput_tps for c in COMPLEXITY]

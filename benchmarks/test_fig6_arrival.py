@@ -3,15 +3,19 @@
 Paper series: FabricCRDT throughput tracks the arrival rate up to a
 saturation point around 250 tx/s (100→100, 200→200, 300→241, 400→264,
 500→250) while latency grows once the offered load exceeds capacity.
+Sweeps are declared as :class:`repro.workload.runner.Benchmark` rounds;
+the arrival rate is exactly what a :class:`repro.workload.rate.FixedRate`
+controller controls, so this figure also passes the controller explicitly.
 """
 
 import pytest
 
 from repro.bench.experiments import CRDT_BLOCK_SIZE, FABRIC_BLOCK_SIZE, _network_config
-from repro.workload.caliper import run_workload
+from repro.workload.rate import FixedRate
+from repro.workload.runner import Round
 from repro.workload.spec import table4_spec
 
-from conftest import BENCH_TRANSACTIONS, run_once
+from conftest import BENCH_TRANSACTIONS, one_round, run_once, sweep_rounds
 
 RATES = (100, 300, 500)
 
@@ -21,8 +25,11 @@ def test_fig6_fabriccrdt(benchmark, rate, scale, cost_model):
     spec = table4_spec(float(rate), total_transactions=BENCH_TRANSACTIONS, seed=7)
     result = run_once(
         benchmark,
-        lambda: run_workload(
-            spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
+        lambda: one_round(
+            spec,
+            _network_config(scale, CRDT_BLOCK_SIZE, True),
+            cost_model,
+            rate=FixedRate(float(rate)),
         ),
     )
     benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 1)
@@ -35,14 +42,22 @@ def test_fig6_saturation_knee(benchmark, scale, cost_model):
     latency grows with queueing."""
 
     def sweep():
-        return {
-            rate: run_workload(
-                table4_spec(float(rate), total_transactions=BENCH_TRANSACTIONS, seed=7),
-                _network_config(scale, CRDT_BLOCK_SIZE, True),
-                cost=cost_model,
-            )
-            for rate in RATES
-        }
+        return sweep_rounds(
+            [
+                (
+                    rate,
+                    Round(
+                        table4_spec(
+                            float(rate), total_transactions=BENCH_TRANSACTIONS, seed=7
+                        ),
+                        _network_config(scale, CRDT_BLOCK_SIZE, True),
+                        rate=FixedRate(float(rate)),
+                    ),
+                )
+                for rate in RATES
+            ],
+            cost_model,
+        )
 
     results = run_once(benchmark, sweep)
     assert results[100].throughput_tps == pytest.approx(100, rel=0.15)
@@ -55,16 +70,21 @@ def test_fig6_saturation_knee(benchmark, scale, cost_model):
 
 def test_fig6_fabric_low_success_at_all_rates(benchmark, scale, cost_model):
     def sweep():
-        return {
-            rate: run_workload(
-                table4_spec(
-                    float(rate), total_transactions=BENCH_TRANSACTIONS, seed=7
-                ).with_crdt(False),
-                _network_config(scale, FABRIC_BLOCK_SIZE, False),
-                cost=cost_model,
-            )
-            for rate in (100, 500)
-        }
+        return sweep_rounds(
+            [
+                (
+                    rate,
+                    Round(
+                        table4_spec(
+                            float(rate), total_transactions=BENCH_TRANSACTIONS, seed=7
+                        ).with_crdt(False),
+                        _network_config(scale, FABRIC_BLOCK_SIZE, False),
+                    ),
+                )
+                for rate in (100, 500)
+            ],
+            cost_model,
+        )
 
     results = run_once(benchmark, sweep)
     for result in results.values():

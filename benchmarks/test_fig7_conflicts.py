@@ -3,7 +3,8 @@
 Paper series: at 0 % conflicts the systems are comparable (Fabric 222.6 vs
 FabricCRDT 240 tx/s); as the conflicting share grows, Fabric's successful
 throughput collapses (52.4 tx/s and 2085/10000 successes at 80 %) while
-FabricCRDT stays flat with zero failures.
+FabricCRDT stays flat with zero failures.  Sweeps are declared as
+:class:`repro.workload.runner.Benchmark` rounds.
 """
 
 import pytest
@@ -14,10 +15,10 @@ from repro.bench.experiments import (
     PAPER_FIG7_FABRIC_SUCCESS,
     _network_config,
 )
-from repro.workload.caliper import run_workload
+from repro.workload.runner import Round
 from repro.workload.spec import table5_spec
 
-from conftest import BENCH_TRANSACTIONS, run_once
+from conftest import BENCH_TRANSACTIONS, one_round, run_once, sweep_rounds
 
 CONFLICT_PCT = (0, 40, 80)
 
@@ -27,9 +28,7 @@ def test_fig7_fabriccrdt_never_fails(benchmark, pct, scale, cost_model):
     spec = table5_spec(float(pct), total_transactions=BENCH_TRANSACTIONS, seed=7)
     result = run_once(
         benchmark,
-        lambda: run_workload(
-            spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost=cost_model
-        ),
+        lambda: one_round(spec, _network_config(scale, CRDT_BLOCK_SIZE, True), cost_model),
     )
     benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 1)
     assert result.successful == BENCH_TRANSACTIONS
@@ -43,8 +42,8 @@ def test_fig7_fabric_success_tracks_conflict_share(benchmark, pct, scale, cost_m
     ).with_crdt(False)
     result = run_once(
         benchmark,
-        lambda: run_workload(
-            spec, _network_config(scale, FABRIC_BLOCK_SIZE, False), cost=cost_model
+        lambda: one_round(
+            spec, _network_config(scale, FABRIC_BLOCK_SIZE, False), cost_model
         ),
     )
     benchmark.extra_info["successful"] = result.successful
@@ -59,16 +58,21 @@ def test_fig7_fabric_success_tracks_conflict_share(benchmark, pct, scale, cost_m
 
 def test_fig7_fabric_throughput_declines_with_conflicts(benchmark, scale, cost_model):
     def sweep():
-        return {
-            pct: run_workload(
-                table5_spec(
-                    float(pct), total_transactions=BENCH_TRANSACTIONS, seed=7
-                ).with_crdt(False),
-                _network_config(scale, FABRIC_BLOCK_SIZE, False),
-                cost=cost_model,
-            )
-            for pct in CONFLICT_PCT
-        }
+        return sweep_rounds(
+            [
+                (
+                    pct,
+                    Round(
+                        table5_spec(
+                            float(pct), total_transactions=BENCH_TRANSACTIONS, seed=7
+                        ).with_crdt(False),
+                        _network_config(scale, FABRIC_BLOCK_SIZE, False),
+                    ),
+                )
+                for pct in CONFLICT_PCT
+            ],
+            cost_model,
+        )
 
     results = run_once(benchmark, sweep)
     tps = [results[pct].throughput_tps for pct in CONFLICT_PCT]

@@ -1,0 +1,66 @@
+"""Closed-loop MaxRate rounds: the benchmark the open-loop driver couldn't run.
+
+The paper's Caliper clients are open-loop (Figure 6 shows offered load vs
+achieved throughput); a closed-loop client instead discovers the system's
+capacity by reacting to commit events — BlockBench's client model.  These
+benchmarks drive the event-driven :class:`ClosedLoopClient` through
+Gateway block-event streams with coalesced ``Contract.submit_batch``
+bursts, and check the two facts that make the mode useful: it completes
+(and saturates) without any offered-rate guess, and a larger in-flight
+window buys throughput until block cutting is the bottleneck.
+"""
+
+from repro.bench.experiments import CRDT_BLOCK_SIZE, _network_config
+from repro.workload.clients import ClosedLoopClient
+from repro.workload.rate import MaxRate
+from repro.workload.runner import Benchmark, Round
+from repro.workload.spec import table1_spec
+
+from conftest import run_once
+
+CLOSED_LOOP_TXS = 600
+
+
+def test_maxrate_round_completes_and_respects_cap(benchmark, scale, cost_model):
+    spec = table1_spec(total_transactions=CLOSED_LOOP_TXS, seed=7)
+    client = ClosedLoopClient()
+    round_ = Round(
+        spec,
+        _network_config(scale, CRDT_BLOCK_SIZE, True),
+        rate=MaxRate(in_flight=100, batch_size=25),
+        client=client,
+    )
+    result = run_once(
+        benchmark, lambda: Benchmark([round_], cost=cost_model).run().results[0]
+    )
+    assert result.successful == CLOSED_LOOP_TXS
+    assert result.failed == 0
+    assert client.max_in_flight_observed <= 100
+    benchmark.extra_info["throughput_tps"] = round(result.throughput_tps, 1)
+    benchmark.extra_info["max_in_flight"] = client.max_in_flight_observed
+
+
+def test_wider_window_buys_throughput(benchmark, scale, cost_model):
+    spec = table1_spec(total_transactions=CLOSED_LOOP_TXS, seed=7)
+    config = _network_config(scale, CRDT_BLOCK_SIZE, True)
+
+    def sweep():
+        results = {}
+        for in_flight in (25, 100):
+            results[in_flight] = (
+                Benchmark(
+                    [Round(spec, config, rate=MaxRate(in_flight=in_flight, batch_size=25))],
+                    cost=cost_model,
+                )
+                .run()
+                .results[0]
+            )
+        return results
+
+    results = run_once(benchmark, sweep)
+    for result in results.values():
+        assert result.successful == CLOSED_LOOP_TXS
+    assert results[100].throughput_tps > results[25].throughput_tps
+    benchmark.extra_info["tps_by_window"] = {
+        k: round(v.throughput_tps, 1) for k, v in results.items()
+    }

@@ -8,7 +8,8 @@ endorsements return.  This example shows the event service doing that job:
 
 1. a live ``contract_events`` stream delivers each committed ``voted``
    event to a callback, at the instant its block commits;
-2. the consumer "crashes" after recording a checkpoint, more votes commit
+2. the consumer "crashes" after durably recording a checkpoint with
+   ``FileCheckpointer`` (atomic write, crash-safe load), more votes commit
    while it is down, and a resumed stream replays exactly the missed
    events from the ledger — no gaps, no duplicates;
 3. a ``block_events(start_block=0)`` stream replays the whole chain, the
@@ -17,9 +18,10 @@ endorsements return.  This example shows the event service doing that job:
 Run:  python examples/event_listening.py
 """
 
-import json
+import tempfile
+from pathlib import Path
 
-from repro import Checkpoint, Gateway, crdt_network, fabriccrdt_config
+from repro import FileCheckpointer, Gateway, crdt_network, fabriccrdt_config
 from repro.core.counters import VotingChaincode
 
 
@@ -51,17 +53,20 @@ def main() -> None:
     )
     cast_votes(contract, ["apple", "banana", "apple", "apple"])
 
-    # -- 2. checkpoint, miss some events, resume ---------------------------------
-    saved = json.dumps(live.checkpoint().to_dict())  # persist anywhere
+    # -- 2. durable checkpoint, miss some events, resume -------------------------
+    checkpointer = FileCheckpointer(
+        Path(tempfile.mkdtemp(prefix="repro-events-")) / "listener.checkpoint.json"
+    )
+    checkpointer.save(live.checkpoint())  # atomic write: crash-safe
     live.close()
-    print(f"\nconsumer stops; checkpoint saved: {saved}")
+    print(f"\nconsumer stops; checkpoint saved to {checkpointer.path}")
 
     cast_votes(contract, ["banana", "apple", "banana", "apple"])
     print("…4 more votes commit while the consumer is down…\n")
 
-    print("--- resumed from checkpoint ---")
+    print("--- resumed from the file checkpoint ---")
     resumed = contract.contract_events(
-        event_name="voted", checkpoint=Checkpoint.from_dict(json.loads(saved))
+        event_name="voted", checkpoint=checkpointer.load()
     )
     missed = list(resumed)
     for event in missed:

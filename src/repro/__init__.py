@@ -45,7 +45,7 @@ from .common.config import (
 from .common.types import TxStatus, ValidationCode, Version
 from .contract import Context, Contract as ContractBase, query, transaction
 from .core.network import crdt_network, vanilla_network
-from .events import BlockEvent, Checkpoint, ContractEvent
+from .events import BlockEvent, Checkpoint, ContractEvent, FileCheckpointer
 from .core.peer import CRDTPeer
 from .fabric.chaincode import Chaincode, ShimStub
 from .fabric.localnet import LocalNetwork
@@ -91,6 +91,7 @@ __all__ = [
     "BlockEvent",
     "ContractEvent",
     "Checkpoint",
+    "FileCheckpointer",
     "GatewayError",
     "EndorseError",
     "CommitError",

@@ -6,7 +6,14 @@ Usage::
     python -m repro.bench fig7 --transactions 2000
     python -m repro.bench all --transactions 1000 --json results.json
     python -m repro.bench calibration       # print the fitted constants
-    python -m repro.bench smoke             # <60s CI sanity point (fig3 @ 25 txs/block)
+    python -m repro.bench smoke             # <60s CI two-round Benchmark
+    python -m repro.bench smoke --json out.json --golden benchmarks/golden/smoke.json
+
+``smoke`` runs one declarative two-round Benchmark (FabricCRDT at its best
+block size vs vanilla Fabric at its own) through the full Gateway → DES →
+commit → metrics pipeline.  ``--golden`` compares the run's deterministic
+metrics against a checked-in fingerprint and exits non-zero on drift;
+``--write-golden`` regenerates that fingerprint file.
 
 Full-scale runs take minutes (Figure 3's 1000-tx blocks do real quadratic
 merge work); scaled-down runs preserve the qualitative shapes.
@@ -19,8 +26,67 @@ import json
 import sys
 import time
 
-from .calibration import calibration_report
-from .experiments import FIGURES, ExperimentScale, figure3
+from ..workload.report import format_result_details
+from ..workload.reporter import JsonReporter, deterministic_fingerprint, golden_drift
+from ..workload.runner import Benchmark, Round
+from ..workload.spec import table1_spec
+from .calibration import calibrated_cost_model, calibration_report
+from .experiments import (
+    CRDT_BLOCK_SIZE,
+    FABRIC_BLOCK_SIZE,
+    FIGURES,
+    ExperimentScale,
+    _network_config,
+)
+
+
+def _smoke_benchmark(scale: ExperimentScale, json_path: "str | None") -> "Benchmark":
+    """The CI smoke experiment as a declared two-round Benchmark."""
+
+    spec = table1_spec(total_transactions=scale.transactions, seed=7)
+    return Benchmark(
+        rounds=[
+            Round(spec, _network_config(scale, CRDT_BLOCK_SIZE, True)),
+            Round(
+                spec.with_crdt(False),
+                _network_config(scale, FABRIC_BLOCK_SIZE, False),
+            ),
+        ],
+        cost=calibrated_cost_model(),
+        reporter=JsonReporter(json_path) if json_path else None,
+    )
+
+
+def _run_smoke(args: argparse.Namespace) -> int:
+    scale = ExperimentScale(
+        transactions=min(args.transactions, 300),
+        light_topology=not args.full_topology,
+        seed=args.seed,
+    )
+    started = time.time()
+    report = _smoke_benchmark(scale, args.json).run()
+    for result in report.results:
+        print(format_result_details(result))
+        print()
+    print(f"[smoke: {time.time() - started:.1f}s wall clock, "
+          f"{scale.transactions} txs/round, 2 rounds]")
+    if args.json:
+        print(f"benchmark results written to {args.json}")
+    fingerprints = [deterministic_fingerprint(result) for result in report.results]
+    if args.write_golden:
+        with open(args.write_golden, "w", encoding="utf-8") as handle:
+            json.dump({"fingerprints": fingerprints}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"golden fingerprint written to {args.write_golden}")
+    if args.golden:
+        with open(args.golden, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)["fingerprints"]
+        drift = golden_drift(report.results, golden)
+        if drift is not None:
+            print(f"DETERMINISTIC-METRICS DRIFT: {drift}", file=sys.stderr)
+            return 1
+        print(f"deterministic metrics match {args.golden}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,6 +112,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="network seed")
     parser.add_argument("--json", metavar="PATH", help="also dump rows as JSON")
+    parser.add_argument(
+        "--golden",
+        metavar="PATH",
+        help="(smoke) fail if deterministic metrics drift from this fingerprint file",
+    )
+    parser.add_argument(
+        "--write-golden",
+        metavar="PATH",
+        help="(smoke) regenerate the deterministic-metrics fingerprint file",
+    )
     args = parser.parse_args(argv)
 
     if args.target == "calibration":
@@ -53,23 +129,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.target == "smoke":
-        # One scaled-down Figure-3 point: enough to exercise the full
-        # Gateway → DES → commit → metrics pipeline in well under a minute.
-        scale = ExperimentScale(
-            transactions=min(args.transactions, 300),
-            light_topology=not args.full_topology,
-            seed=args.seed,
-        )
-        started = time.time()
-        result = figure3(scale, block_sizes=(25,))
-        print(result.format())
-        print(f"[smoke: {time.time() - started:.1f}s wall clock, "
-              f"{scale.transactions} txs/run]")
-        if args.json:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json.dump({"smoke": result.comparison_rows()}, handle, indent=2, default=str)
-            print(f"rows written to {args.json}")
-        return 0
+        return _run_smoke(args)
 
     scale = ExperimentScale(
         transactions=args.transactions,

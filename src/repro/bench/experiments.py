@@ -1,9 +1,10 @@
 """One experiment definition per figure of the paper's evaluation (§7).
 
-Each ``figureN`` function sweeps the paper's parameter, runs FabricCRDT and
-vanilla Fabric through the Caliper-equivalent driver on the calibrated cost
-model, and returns a :class:`FigureResult` whose ``format()`` mirrors the
-figure's three panels.  ``PAPER_*`` dictionaries hold the published numbers
+Each ``figureN`` function declares the paper's sweep as a
+:class:`~repro.workload.runner.Benchmark` — one FabricCRDT round and one
+vanilla-Fabric round per sweep point, on the calibrated cost model — and
+returns a :class:`FigureResult` whose ``format()`` mirrors the figure's
+three panels.  ``PAPER_*`` dictionaries hold the published numbers
 (the *revised* arXiv figures) so EXPERIMENTS.md can print paper-vs-measured
 tables.
 
@@ -26,9 +27,9 @@ from ..common.config import (
     TopologyConfig,
 )
 from ..fabric.costmodel import CostModel
-from ..workload.caliper import run_workload
 from ..workload.metrics import BenchmarkResult
 from ..workload.report import format_figure
+from ..workload.runner import Benchmark, Round, run_round
 from ..workload.spec import (
     WorkloadSpec,
     table1_spec,
@@ -132,24 +133,42 @@ def _network_config(
     )
 
 
-def _run_pair_for(
+def _pair_rounds(
     spec: WorkloadSpec,
     scale: ExperimentScale,
-    cost: CostModel,
     crdt_block: int = CRDT_BLOCK_SIZE,
     fabric_block: int = FABRIC_BLOCK_SIZE,
-) -> tuple[BenchmarkResult, BenchmarkResult]:
-    crdt_result = run_workload(
-        spec.scaled(scale.transactions).with_crdt(True),
-        _network_config(scale, crdt_block, True),
-        cost=cost,
+) -> tuple[Round, Round]:
+    """The FabricCRDT/Fabric round pair every sweep point declares."""
+
+    return (
+        Round(
+            spec.scaled(scale.transactions).with_crdt(True),
+            _network_config(scale, crdt_block, True),
+        ),
+        Round(
+            spec.scaled(scale.transactions).with_crdt(False),
+            _network_config(scale, fabric_block, False),
+        ),
     )
-    fabric_result = run_workload(
-        spec.scaled(scale.transactions).with_crdt(False),
-        _network_config(scale, fabric_block, False),
-        cost=cost,
-    )
-    return crdt_result, fabric_result
+
+
+def _run_sweep(
+    figure: FigureResult,
+    sweep: "Sequence[tuple[object, Round, Round]]",
+    cost: CostModel,
+) -> FigureResult:
+    """Run a declared sweep — one (key, crdt round, fabric round) triple per
+    point — as a single :class:`Benchmark` and index the results back."""
+
+    rounds: list[Round] = []
+    for _, crdt_round, fabric_round in sweep:
+        rounds.extend((crdt_round, fabric_round))
+    report = Benchmark(rounds, cost=cost).run()
+    for index, (key, _, _) in enumerate(sweep):
+        figure.crdt[key] = report.results[2 * index]
+        figure.fabric[key] = report.results[2 * index + 1]
+    return figure
 
 
 def figure3(
@@ -167,15 +186,15 @@ def figure3(
         paper_crdt_tps=PAPER_FIG3_CRDT_TPS,
         paper_fabric_tps=PAPER_FIG3_FABRIC_TPS,
     )
-    for block_size in block_sizes:
-        spec = table1_spec(total_transactions=scale.transactions, seed=7)
-        result.crdt[block_size] = run_workload(
-            spec, _network_config(scale, block_size, True), cost=cost
+    spec = table1_spec(total_transactions=scale.transactions, seed=7)
+    sweep = [
+        (
+            block_size,
+            *_pair_rounds(spec, scale, crdt_block=block_size, fabric_block=block_size),
         )
-        result.fabric[block_size] = run_workload(
-            spec.with_crdt(False), _network_config(scale, block_size, False), cost=cost
-        )
-    return result
+        for block_size in block_sizes
+    ]
+    return _run_sweep(result, sweep, cost)
 
 
 def figure4(
@@ -192,12 +211,17 @@ def figure4(
         tuple(read_write),
         paper_crdt_tps=PAPER_FIG4_CRDT_TPS,
     )
-    for reads, writes in read_write:
-        spec = table2_spec(reads, writes, total_transactions=scale.transactions, seed=7)
-        crdt_result, fabric_result = _run_pair_for(spec, scale, cost)
-        result.crdt[(reads, writes)] = crdt_result
-        result.fabric[(reads, writes)] = fabric_result
-    return result
+    sweep = [
+        (
+            (reads, writes),
+            *_pair_rounds(
+                table2_spec(reads, writes, total_transactions=scale.transactions, seed=7),
+                scale,
+            ),
+        )
+        for reads, writes in read_write
+    ]
+    return _run_sweep(result, sweep, cost)
 
 
 def figure5(
@@ -214,12 +238,17 @@ def figure5(
         tuple(complexity),
         paper_crdt_tps=PAPER_FIG5_CRDT_TPS,
     )
-    for keys, depth in complexity:
-        spec = table3_spec(keys, depth, total_transactions=scale.transactions, seed=7)
-        crdt_result, fabric_result = _run_pair_for(spec, scale, cost)
-        result.crdt[(keys, depth)] = crdt_result
-        result.fabric[(keys, depth)] = fabric_result
-    return result
+    sweep = [
+        (
+            (keys, depth),
+            *_pair_rounds(
+                table3_spec(keys, depth, total_transactions=scale.transactions, seed=7),
+                scale,
+            ),
+        )
+        for keys, depth in complexity
+    ]
+    return _run_sweep(result, sweep, cost)
 
 
 def figure6(
@@ -236,12 +265,17 @@ def figure6(
         tuple(rates),
         paper_crdt_tps=PAPER_FIG6_CRDT_TPS,
     )
-    for rate in rates:
-        spec = table4_spec(float(rate), total_transactions=scale.transactions, seed=7)
-        crdt_result, fabric_result = _run_pair_for(spec, scale, cost)
-        result.crdt[rate] = crdt_result
-        result.fabric[rate] = fabric_result
-    return result
+    sweep = [
+        (
+            rate,
+            *_pair_rounds(
+                table4_spec(float(rate), total_transactions=scale.transactions, seed=7),
+                scale,
+            ),
+        )
+        for rate in rates
+    ]
+    return _run_sweep(result, sweep, cost)
 
 
 def figure7(
@@ -259,12 +293,17 @@ def figure7(
         paper_crdt_tps=PAPER_FIG7_CRDT_TPS,
         paper_fabric_tps=PAPER_FIG7_FABRIC_TPS,
     )
-    for pct in conflict_percentages:
-        spec = table5_spec(float(pct), total_transactions=scale.transactions, seed=7)
-        crdt_result, fabric_result = _run_pair_for(spec, scale, cost)
-        result.crdt[pct] = crdt_result
-        result.fabric[pct] = fabric_result
-    return result
+    sweep = [
+        (
+            pct,
+            *_pair_rounds(
+                table5_spec(float(pct), total_transactions=scale.transactions, seed=7),
+                scale,
+            ),
+        )
+        for pct in conflict_percentages
+    ]
+    return _run_sweep(result, sweep, cost)
 
 
 def timeout_sweep(
@@ -301,7 +340,7 @@ def timeout_sweep(
             crdt_enabled=True,
             seed=scale.seed,
         )
-        result.crdt[timeout_s] = run_workload(spec, config, cost=cost)
+        result.crdt[timeout_s] = run_round(Round(spec, config), cost=cost)
     return result
 
 

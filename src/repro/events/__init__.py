@@ -26,7 +26,7 @@ Consumers reach it through the Gateway::
     events = contract.contract_events(checkpoint=cp)
 """
 
-from .checkpoint import Checkpoint, CheckpointError
+from .checkpoint import Checkpoint, CheckpointError, FileCheckpointer
 from .deliver import DeliverError, DeliverService, DeliverSession
 from .filters import EventFilter, contract_events_in_block
 from .scheduling import DeliverySchedule, InlineSchedule, SimSchedule
@@ -51,6 +51,7 @@ __all__ = [
     "StreamClosedError",
     "Checkpoint",
     "CheckpointError",
+    "FileCheckpointer",
     "EventFilter",
     "contract_events_in_block",
     "DeliverService",

@@ -13,13 +13,19 @@ anything dropped from a live buffer is still committed on the ledger, and a
 resumed stream re-reads it from there.
 
 Checkpoints serialize to plain dicts (:meth:`Checkpoint.to_dict` /
-:meth:`Checkpoint.from_dict`) so callers can persist them as JSON, exactly
-like the file checkpointers in the Fabric client SDKs.
+:meth:`Checkpoint.from_dict`) so callers can persist them as JSON;
+:class:`FileCheckpointer` is the durable variant matching the Fabric client
+SDKs' file checkpointers — atomic writes, lossless load, safe to re-open
+after a crash.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
 
 from ..common.errors import FabricError
 
@@ -64,3 +70,70 @@ class Checkpoint:
 
     def __str__(self) -> str:
         return f"@{self.block_number}.{self.tx_index}"
+
+
+class FileCheckpointer:
+    """A durable checkpoint store, Fabric-SDK style.
+
+    Persists one :class:`Checkpoint` as JSON at ``path``.  Writes are
+    atomic (write-to-temp then :func:`os.replace`), so a crash mid-save
+    leaves either the previous checkpoint or the new one — never a torn
+    file.  ``load`` returns ``None`` when no checkpoint was ever saved and
+    raises :class:`CheckpointError` on a corrupt file (surfacing the
+    corruption beats silently restarting from genesis).
+
+    Usage with a stream::
+
+        checkpointer = FileCheckpointer("listener.checkpoint.json")
+        stream = contract.contract_events(checkpoint=checkpointer.load())
+        ...
+        checkpointer.save(stream.checkpoint())   # after processing events
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = Path(path)
+
+    def load(self) -> Optional[Checkpoint]:
+        """The stored checkpoint, or ``None`` if none was saved yet."""
+
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint file {self.path}: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise CheckpointError(
+                f"corrupt checkpoint file {self.path}: expected an object, "
+                f"got {type(data).__name__}"
+            )
+        return Checkpoint.from_dict(data)
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        """Atomically persist ``checkpoint`` (temp file + rename)."""
+
+        if not isinstance(checkpoint, Checkpoint):
+            raise CheckpointError(
+                f"can only save a Checkpoint, got {type(checkpoint).__name__}"
+            )
+        tmp_path = self.path.with_name(self.path.name + ".tmp")
+        tmp_path.write_text(
+            json.dumps(checkpoint.to_dict(), sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp_path, self.path)
+
+    def clear(self) -> None:
+        """Forget the stored checkpoint (next ``load`` returns ``None``)."""
+
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:
+        return f"FileCheckpointer({str(self.path)!r})"

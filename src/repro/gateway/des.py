@@ -208,6 +208,91 @@ class DESTransport(Transport):
             chaincode=chaincode, function=function,
         )
 
+    def submit_batch(
+        self,
+        chaincode: str,
+        function: str,
+        calls: Sequence[Sequence[str]],
+        client_index: int = 0,
+        on_endorsement_failure: Optional[EndorsementFailureHook] = None,
+    ) -> list[SubmittedTransaction]:
+        """Coalesce a burst of submissions into one client flow.
+
+        All proposals are stamped at the current instant and ride one
+        client→peer message per endorsing peer (a single link-latency draw
+        covers the batch); once every endorsement resolves, the assembled
+        envelopes go to the orderer as one burst behind a single
+        client→orderer draw.  One simulation process serves the whole batch
+        — the async-submission batching the open-loop driver's
+        process-per-transaction model could not express.
+        """
+
+        if not calls:
+            return []
+        channel = self.channel
+        client = channel.client(client_index)
+        policy = channel.policy_for(chaincode)
+        now = self.env.now
+        proposals = [
+            client.new_proposal(
+                channel.name, chaincode, function, args, policy, submit_time=now
+            )
+            for args in calls
+        ]
+        # Per-transaction outcome events: SubmittedTransaction.flow duck-types
+        # a Process (triggered/ok/value), so wait_for() reads batch members
+        # exactly like singleton flows.
+        outcomes = [self.env.event() for _ in proposals]
+        self.env.process(
+            self._batch_flow(client, proposals, outcomes, on_endorsement_failure)
+        )
+        return [
+            SubmittedTransaction(
+                self, proposal.tx_id, now, flow=outcome,
+                chaincode=chaincode, function=function,
+            )
+            for proposal, outcome in zip(proposals, outcomes)
+        ]
+
+    def _batch_flow(
+        self,
+        client: Client,
+        proposals: list[Proposal],
+        outcomes: list,
+        on_endorsement_failure: Optional[EndorsementFailureHook],
+    ) -> Generator:
+        """One batched client lifecycle: proposal burst → envelope burst."""
+
+        nodes = self.endorsing_nodes(proposals[0].policy)
+        reply_boxes = [Store(self.env) for _ in proposals]
+        for node in nodes:
+            # One latency draw per peer: the batch travels as one message.
+            delay = self.cost.client_to_peer.sample(self._flow_rng)
+            for proposal, reply_box in zip(proposals, reply_boxes):
+                send_after(self.env, node.proposal_box, (proposal, reply_box), delay)
+        envelopes = []
+        for proposal, reply_box, outcome in zip(proposals, reply_boxes, outcomes):
+            responses: list[ProposalResponse] = []
+            failures: list[EndorsementFailure] = []
+            for _ in range(len(nodes)):
+                reply = yield reply_box.get()
+                if isinstance(reply, ProposalResponse):
+                    responses.append(reply)
+                else:
+                    failures.append(reply)
+            assembled = client.assemble(proposal, responses, failures)
+            if isinstance(assembled, EndorsementRoundFailure):
+                if on_endorsement_failure is not None:
+                    on_endorsement_failure(proposal.tx_id, self.env.now)
+            elif not assembled.envelope.rwset.is_read_only:
+                envelopes.append(assembled.envelope)
+            outcome.succeed(assembled)
+        if envelopes:
+            # One envelope burst to ordering: a single latency draw.
+            delay = self.cost.client_to_orderer.sample(self._flow_rng)
+            for envelope in envelopes:
+                send_after(self.env, self.orderer_node.envelope_box, envelope, delay)
+
     def wait_for(self, tx: SubmittedTransaction) -> TxStatus:
         """Step the simulation until ``tx`` resolves on the anchor peer."""
 

@@ -31,7 +31,7 @@ the examples provoke (and FabricCRDT merges) MVCC conflicts::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..common.types import Json
 from ..events import (
@@ -178,6 +178,31 @@ class Contract:
             self.chaincode_name,
             function,
             args,
+            client_index=client_index,
+            on_endorsement_failure=on_endorsement_failure,
+        )
+
+    def submit_batch(
+        self,
+        function: str,
+        calls: Sequence[Sequence[str]],
+        client_index: int = 0,
+        on_endorsement_failure: Optional[EndorsementFailureHook] = None,
+    ) -> list[SubmittedTransaction]:
+        """Submit a burst of invocations of ``function`` in one coalesced flow.
+
+        ``calls`` holds one argument tuple per transaction.  On the DES
+        transport the whole batch shares one client flow — one proposal
+        burst to the endorsing peers, one envelope burst to the orderer —
+        instead of one flow process per transaction; on the synchronous
+        transport it degenerates to per-transaction ``submit_async``.
+        Returns one :class:`SubmittedTransaction` per call, in order.
+        """
+
+        return self.transport.submit_batch(
+            self.chaincode_name,
+            function,
+            calls,
             client_index=client_index,
             on_endorsement_failure=on_endorsement_failure,
         )

@@ -161,6 +161,35 @@ class Transport(ABC):
     ) -> SubmittedTransaction:
         """Endorse and order one transaction; do not wait for commit."""
 
+    def submit_batch(
+        self,
+        chaincode: str,
+        function: str,
+        calls: Sequence[Sequence[str]],
+        client_index: int = 0,
+        on_endorsement_failure: Optional[EndorsementFailureHook] = None,
+    ) -> list[SubmittedTransaction]:
+        """Submit many invocations of ``function`` as one coalesced burst.
+
+        ``calls`` is one argument tuple per transaction.  The base
+        implementation degenerates to per-transaction ``submit_async`` —
+        correct on any transport; the DES transport overrides it to run one
+        client flow for the whole batch (one proposal burst out, one
+        envelope burst to the orderer) instead of one flow process per
+        transaction.
+        """
+
+        return [
+            self.submit_async(
+                chaincode,
+                function,
+                args,
+                client_index=client_index,
+                on_endorsement_failure=on_endorsement_failure,
+            )
+            for args in calls
+        ]
+
     def evaluate(
         self, chaincode: str, function: str, args: Sequence[str], client_index: int = 0
     ) -> Json:

@@ -1,7 +1,30 @@
-"""Workload generation and the Caliper-equivalent benchmark driver."""
+"""Workload generation and the Caliper-style declarative benchmark runner."""
 
-from .caliper import build_network, populate_ledger, run_pair, run_workload
-from .generator import PlannedTx, expected_conflicting, generate_plan, keys_to_populate
+from .caliper import run_pair, run_workload
+from .clients import ClientStrategy, ClosedLoopClient, OpenLoopClient, RoundContext
+from .generator import (
+    PlannedTx,
+    expected_conflicting,
+    generate_plan,
+    keys_to_populate,
+    plan_times,
+)
+from .rate import FixedRate, LinearRamp, MaxRate, PoissonArrival, RateController
+from .reporter import (
+    ConsoleReporter,
+    JsonReporter,
+    Reporter,
+    deterministic_fingerprint,
+    golden_drift,
+)
+from .runner import (
+    Benchmark,
+    BenchmarkReport,
+    Round,
+    build_network,
+    populate_ledger,
+    run_round,
+)
 from .iot import (
     IOT_CHAINCODE_NAME,
     IoTChaincode,
@@ -31,6 +54,25 @@ from .spec import (
 )
 
 __all__ = [
+    "Benchmark",
+    "BenchmarkReport",
+    "Round",
+    "run_round",
+    "RateController",
+    "FixedRate",
+    "PoissonArrival",
+    "LinearRamp",
+    "MaxRate",
+    "ClientStrategy",
+    "OpenLoopClient",
+    "ClosedLoopClient",
+    "RoundContext",
+    "Reporter",
+    "JsonReporter",
+    "ConsoleReporter",
+    "deterministic_fingerprint",
+    "golden_drift",
+    "plan_times",
     "WorkloadSpec",
     "table1_spec",
     "table2_spec",

@@ -1,76 +1,44 @@
-"""The Caliper-equivalent benchmark driver.
+"""Compatibility wrapper over the declarative benchmark runner.
 
-``run_workload`` executes one (workload spec, network config) pair on the
-discrete-event network exactly the way the paper runs Hyperledger Caliper
-v0.1.0 (§7.2): four open-loop clients submit the configured number of
-transactions at the configured aggregate rate through the Gateway API
-(``Contract.submit_async``); the ledger is pre-populated with every key the
-workload will read; metrics are collected through the Gateway event service
-(``gateway.block_events()``, delivering at commit instants) until every
-submitted transaction has resolved.
+The monolithic ``run_workload(spec, config)`` driver was replaced by the
+Caliper-style API in :mod:`repro.workload.runner` —
+``Benchmark(rounds=[Round(spec, config, rate_controller)])`` with pluggable
+rate controllers (:mod:`repro.workload.rate`) and client strategies
+(:mod:`repro.workload.clients`).  ``run_workload`` / ``run_pair`` remain as
+thin, deprecation-warned shims so existing callers keep working with
+byte-identical metrics (the default round is the same open-loop
+``FixedRate`` experiment the monolith ran).
 """
 
 from __future__ import annotations
 
-import json
-from typing import Generator, Optional
+from typing import Optional
 
 from ..common.config import NetworkConfig, fabric_config, fabriccrdt_config
-from ..core.network import crdt_peer_factory
+from ..common.deprecation import warn_once
 from ..fabric.costmodel import CostModel
-from ..fabric.network import SimulatedNetwork
-from ..gateway import Contract, Gateway
-from ..sim.engine import Environment
-from .generator import PlannedTx, generate_plan, keys_to_populate
-from .iot import IOT_CHAINCODE_NAME, IoTChaincode
-from .metrics import BenchmarkResult, MetricsCollector
+from .clients import OpenLoopClient
+from .metrics import BenchmarkResult
+from .runner import (  # noqa: F401  (compat re-exports)
+    POPULATE_CHUNK,
+    Benchmark,
+    Round,
+    build_network,
+    populate_ledger,
+    run_round,
+)
 from .spec import WorkloadSpec
 
-#: Keys per bootstrap ``populate`` transaction (keeps envelopes moderate).
-POPULATE_CHUNK = 500
+def _client_process(env, contract, client_index, transactions, collector):
+    """The historical per-client open-loop generator (import shim)."""
 
+    from .clients import RoundContext
 
-def build_network(
-    env: Environment,
-    config: NetworkConfig,
-    cost: Optional[CostModel] = None,
-) -> SimulatedNetwork:
-    """A simulated network with the right peer type for ``config``."""
-
-    factory = crdt_peer_factory(config.crdt) if config.crdt_enabled else None
-    return SimulatedNetwork(env, config, cost=cost, peer_factory=factory)
-
-
-def populate_ledger(network: SimulatedNetwork, keys: list[str]) -> None:
-    """Pre-populate every read key with its initial device state (§7.2)."""
-
-    if not keys:
-        return
-    chunks = [keys[i : i + POPULATE_CHUNK] for i in range(0, len(keys), POPULATE_CHUNK)]
-    network.bootstrap(
-        IOT_CHAINCODE_NAME,
-        "populate",
-        [(json.dumps({"keys": chunk}),) for chunk in chunks],
+    ctx = RoundContext(
+        env=env, gateway=None, contract=contract, plan=transactions,
+        collector=collector, rate=None,
     )
-
-
-def _client_process(
-    env: Environment,
-    contract: Contract,
-    client_index: int,
-    transactions: list[PlannedTx],
-    collector: MetricsCollector,
-) -> Generator:
-    for tx in transactions:
-        delay = tx.submit_time - env.now
-        if delay > 0:
-            yield env.timeout(delay)
-        contract.submit_async(
-            tx.function,
-            tx.call_argument(),
-            client_index=client_index,
-            on_endorsement_failure=collector.on_endorsement_failure,
-        )
+    return OpenLoopClient._client_process(ctx, client_index, transactions)
 
 
 def run_workload(
@@ -80,49 +48,23 @@ def run_workload(
     label: Optional[str] = None,
     max_sim_time: float = 1e7,
 ) -> BenchmarkResult:
-    """Run one full experiment and return its metrics.
+    """Run one full experiment and return its metrics (legacy surface).
 
-    ``max_sim_time`` is a safety net: a protocol bug that stops commits
-    would otherwise hang the run loop on the orderer timer forever.
+    Deprecated: declare a :class:`~repro.workload.runner.Benchmark` with one
+    :class:`~repro.workload.runner.Round` instead.  This shim runs exactly
+    that round — open-loop ``FixedRate`` clients at ``spec.rate_tps`` — and
+    its metrics are byte-identical to the historical monolithic driver.
     """
 
-    env = Environment()
-    network = build_network(env, config, cost)
-    network.deploy(IoTChaincode())
-
-    plan = generate_plan(spec)
-    populate_ledger(network, keys_to_populate(spec, plan))
-
-    gateway = Gateway.connect(network)
-    collector = MetricsCollector(env, expected=len(plan))
-    events = gateway.block_events()
-    collector.observe(events)
-
-    contract = gateway.get_contract(IOT_CHAINCODE_NAME)
-    per_client: dict[int, list[PlannedTx]] = {}
-    for tx in plan:
-        per_client.setdefault(tx.client, []).append(tx)
-    for client_index, transactions in sorted(per_client.items()):
-        env.process(_client_process(env, contract, client_index, transactions, collector))
-
-    env.run(until=collector.done)
-    events.close()
-    if not collector.done.triggered:
-        raise RuntimeError(
-            f"run ended with {len(collector.statuses)}/{len(plan)} transactions resolved"
-        )
-
-    merge_work = {
-        "merge_ops": network.anchor_peer.stats.get("merge_ops_total"),
-        "merge_scan_steps": network.anchor_peer.stats.get("merge_scan_steps_total"),
-    }
-    resolved_label = label if label is not None else _default_label(spec, config)
-    return collector.result(resolved_label, merge_work)
-
-
-def _default_label(spec: WorkloadSpec, config: NetworkConfig) -> str:
-    system = "FabricCRDT" if config.crdt_enabled else "Fabric"
-    return f"{system}-{config.orderer.max_message_count}txb"
+    warn_once(
+        "workload.run_workload",
+        "run_workload(spec, config) is deprecated; declare the experiment as "
+        "repro.workload.runner.Benchmark([Round(spec, config)]) — rate "
+        "controllers and client strategies are pluggable there",
+    )
+    return run_round(
+        Round(spec, config, label=label), cost=cost, max_sim_time=max_sim_time
+    )
 
 
 def run_pair(
@@ -136,13 +78,15 @@ def run_pair(
     """Run the same workload on FabricCRDT and on vanilla Fabric.
 
     Uses the paper's "best configuration" block sizes (§7.3: 25 txs/block
-    for FabricCRDT, 400 for Fabric) unless overridden.
+    for FabricCRDT, 400 for Fabric) unless overridden.  Implemented as a
+    two-round :class:`~repro.workload.runner.Benchmark`.
     """
 
-    crdt_result = run_workload(
-        spec_crdt, fabriccrdt_config(crdt_block_size, seed=seed), cost=cost
-    )
-    fabric_result = run_workload(
-        spec_fabric, fabric_config(fabric_block_size, seed=seed), cost=cost
-    )
-    return crdt_result, fabric_result
+    report = Benchmark(
+        rounds=[
+            Round(spec_crdt, fabriccrdt_config(crdt_block_size, seed=seed)),
+            Round(spec_fabric, fabric_config(fabric_block_size, seed=seed)),
+        ],
+        cost=cost,
+    ).run()
+    return report.results[0], report.results[1]

@@ -9,9 +9,12 @@ identical stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from ..common.errors import WorkloadError
 from ..common.rng import SeedSequence
 from .iot import encode_call, nested_payload, reading_payload
+from .rate import FixedRate, RateController
 from .spec import WorkloadSpec
 
 
@@ -38,9 +41,49 @@ class PlannedTx:
         )
 
 
-def generate_plan(spec: WorkloadSpec) -> list[PlannedTx]:
-    """The full transaction stream for ``spec``, in submit-time order."""
+def plan_times(spec: WorkloadSpec, rate: Optional[RateController] = None) -> list[float]:
+    """The submission schedule ``spec`` + ``rate`` produce.
 
+    With no controller, the spec's own ``rate_tps`` runs as :class:`FixedRate`
+    — exactly the historical ``index / rate_tps`` schedule.  A closed-loop
+    controller has no schedule: placeholder zeros size the plan (the
+    closed-loop client ignores submit times), so it needs the
+    ``total_transactions`` stop condition.
+    """
+
+    if rate is None:
+        rate = FixedRate(spec.rate_tps)
+    if rate.closed_loop:
+        if spec.total_transactions is None:
+            raise WorkloadError(
+                "a closed-loop round needs total_transactions: with no "
+                "submission schedule, duration_seconds cannot size the plan"
+            )
+        return [0.0] * spec.total_transactions
+    if spec.total_transactions is not None:
+        return rate.submit_times(spec.total_transactions)
+    times = rate.times_until(spec.duration_seconds)
+    if not times:
+        raise WorkloadError(
+            f"duration {spec.duration_seconds}s is too short for the first "
+            f"submission of {rate.describe()}"
+        )
+    return times
+
+
+def generate_plan(
+    spec: WorkloadSpec, rate: Optional[RateController] = None
+) -> list[PlannedTx]:
+    """The full transaction stream for ``spec``, in submit-time order.
+
+    ``rate`` picks the submission schedule (default: the spec's own
+    ``rate_tps`` as :class:`FixedRate`).  Everything else — key sets,
+    payloads, conflict draws — depends only on the spec's seed, so two
+    controllers over the same spec submit the identical transactions at
+    different instants.
+    """
+
+    times = plan_times(spec, rate)
     seeds = SeedSequence(spec.seed)
     conflict_rng = seeds.stream("conflict")
     temp_rng = seeds.stream("temperature")
@@ -49,7 +92,7 @@ def generate_plan(spec: WorkloadSpec) -> list[PlannedTx]:
     function = "record_accumulate" if spec.accumulate else "record"
 
     plan: list[PlannedTx] = []
-    for index in range(spec.total_transactions):
+    for index, submit_time in enumerate(times):
         conflicting = conflict_rng.random() < fraction
         keys = hot if conflicting else spec.unique_keys(index)
         read_keys = tuple(keys[: spec.read_keys])
@@ -64,7 +107,7 @@ def generate_plan(spec: WorkloadSpec) -> list[PlannedTx]:
             PlannedTx(
                 index=index,
                 client=index % spec.num_clients,
-                submit_time=index / spec.rate_tps,
+                submit_time=submit_time,
                 conflicting=conflicting,
                 read_keys=read_keys,
                 write_keys=write_keys,

@@ -9,6 +9,7 @@ merge work) used by EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -46,6 +47,11 @@ class BenchmarkResult:
             "avg_latency_s": round(self.avg_latency_s, 2),
             "successful": self.successful,
         }
+
+    def to_dict(self) -> dict:
+        """Every metric as plain JSON-serializable values."""
+
+        return dataclasses.asdict(self)
 
 
 class MetricsCollector:

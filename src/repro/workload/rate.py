@@ -1,0 +1,191 @@
+"""Rate controllers: when a benchmark round's transactions are submitted.
+
+Caliper factors "how fast do clients fire" out of the workload into
+pluggable rate controllers; this module is that surface for the runner.
+Open-loop controllers (``FixedRate``, ``PoissonArrival``, ``LinearRamp``)
+turn a transaction count or a duration into a deterministic, monotonically
+non-decreasing schedule of submission instants.  ``MaxRate`` is the
+closed-loop controller of BlockBench-style clients: it emits no schedule —
+the closed-loop client submits whenever commit events free capacity, up to
+an in-flight cap.
+
+Determinism contract (property-tested): for fixed constructor arguments,
+``submit_times(n)`` always returns the same ``n`` non-negative,
+non-decreasing floats, and ``times_until(d)`` is a prefix-consistent
+restriction of the same schedule to ``[0, d]``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from ..common.errors import WorkloadError
+from ..common.rng import SeedSequence
+
+
+class RateController(ABC):
+    """Strategy deciding the submission instants of one round."""
+
+    #: Closed-loop controllers emit no schedule: the client reacts to
+    #: commit events instead of firing at precomputed times.
+    closed_loop: bool = False
+
+    def iter_times(self) -> Iterator[float]:
+        """An unbounded, reproducible stream of submission instants."""
+
+        raise WorkloadError(
+            f"{type(self).__name__} is closed-loop: it has no submission "
+            "schedule — the client submits as commit events free capacity"
+        )
+
+    def submit_times(self, count: int) -> list[float]:
+        """The first ``count`` submission instants of the schedule."""
+
+        if count < 0:
+            raise WorkloadError(f"cannot schedule {count} transactions")
+        return list(itertools.islice(self.iter_times(), count))
+
+    def times_until(self, duration_seconds: float) -> list[float]:
+        """Every submission instant within ``[0, duration_seconds]``."""
+
+        if duration_seconds <= 0:
+            raise WorkloadError("duration must be positive")
+        return list(
+            itertools.takewhile(lambda t: t <= duration_seconds, self.iter_times())
+        )
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Short human-readable form for labels and reports."""
+
+
+class FixedRate(RateController):
+    """Open-loop uniform arrivals: transaction ``i`` fires at ``i / tps``.
+
+    This is the paper's (and the seed driver's) schedule: an aggregate
+    ``tps`` across all clients, byte-identical to the historical
+    ``index / rate_tps`` submit times of ``generate_plan``.
+    """
+
+    def __init__(self, tps: float) -> None:
+        if tps <= 0:
+            raise WorkloadError(f"rate must be positive: {tps}")
+        self.tps = float(tps)
+
+    def iter_times(self) -> Iterator[float]:
+        return (index / self.tps for index in itertools.count())
+
+    def describe(self) -> str:
+        return f"fixed@{self.tps:g}tps"
+
+    def __repr__(self) -> str:
+        return f"FixedRate(tps={self.tps!r})"
+
+
+class PoissonArrival(RateController):
+    """Open-loop Poisson process: exponential inter-arrivals at mean ``tps``.
+
+    Caliper's ``poisson-rate`` controller.  Seeded through the project's
+    :class:`~repro.common.rng.SeedSequence`, so the schedule is a pure
+    function of ``(tps, seed)`` — every call re-derives the same stream.
+    """
+
+    def __init__(self, tps: float, seed: int = 0) -> None:
+        if tps <= 0:
+            raise WorkloadError(f"rate must be positive: {tps}")
+        self.tps = float(tps)
+        self.seed = seed
+
+    def iter_times(self) -> Iterator[float]:
+        rng = SeedSequence(self.seed).stream("rate/poisson")
+
+        def times() -> Iterator[float]:
+            now = 0.0
+            while True:
+                yield now
+                now += rng.expovariate(self.tps)
+
+        return times()
+
+    def describe(self) -> str:
+        return f"poisson@{self.tps:g}tps"
+
+    def __repr__(self) -> str:
+        return f"PoissonArrival(tps={self.tps!r}, seed={self.seed!r})"
+
+
+class LinearRamp(RateController):
+    """Open-loop ramp: the instantaneous rate slides from ``start_tps`` to
+    ``end_tps`` over ``ramp_transactions`` submissions, then holds.
+
+    Caliper's ``linear-rate`` controller.  Gap ``i`` is ``1 / rate_i`` with
+    ``rate_i`` interpolated linearly in the transaction index, which keeps
+    the schedule independent of how many transactions are ultimately drawn.
+    """
+
+    def __init__(self, start_tps: float, end_tps: float, ramp_transactions: int) -> None:
+        if start_tps <= 0 or end_tps <= 0:
+            raise WorkloadError("ramp rates must be positive")
+        if ramp_transactions < 1:
+            raise WorkloadError("ramp needs at least one transaction")
+        self.start_tps = float(start_tps)
+        self.end_tps = float(end_tps)
+        self.ramp_transactions = ramp_transactions
+
+    def rate_at(self, index: int) -> float:
+        """The instantaneous rate governing the gap after transaction ``index``."""
+
+        if index >= self.ramp_transactions:
+            return self.end_tps
+        fraction = index / self.ramp_transactions
+        return self.start_tps + (self.end_tps - self.start_tps) * fraction
+
+    def iter_times(self) -> Iterator[float]:
+        def times() -> Iterator[float]:
+            now = 0.0
+            for index in itertools.count():
+                yield now
+                now += 1.0 / self.rate_at(index)
+
+        return times()
+
+    def describe(self) -> str:
+        return f"ramp@{self.start_tps:g}-{self.end_tps:g}tps"
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearRamp(start_tps={self.start_tps!r}, end_tps={self.end_tps!r}, "
+            f"ramp_transactions={self.ramp_transactions!r})"
+        )
+
+
+class MaxRate(RateController):
+    """Closed-loop: submit as fast as commits allow, ``in_flight`` capped.
+
+    The BlockBench-style client.  There is no schedule — the closed-loop
+    client keeps up to ``in_flight`` transactions outstanding, refilling in
+    coalesced :meth:`~repro.gateway.gateway.Contract.submit_batch` bursts of
+    ``batch_size`` whenever Gateway commit events resolve earlier ones.
+    """
+
+    closed_loop = True
+
+    def __init__(self, in_flight: int = 64, batch_size: int = 8) -> None:
+        if in_flight < 1:
+            raise WorkloadError(f"in-flight cap must be positive: {in_flight}")
+        if batch_size < 1:
+            raise WorkloadError(f"batch size must be positive: {batch_size}")
+        if batch_size > in_flight:
+            raise WorkloadError(
+                f"batch size {batch_size} cannot exceed the in-flight cap {in_flight}"
+            )
+        self.in_flight = in_flight
+        self.batch_size = batch_size
+
+    def describe(self) -> str:
+        return f"maxrate@{self.in_flight}inflight"
+
+    def __repr__(self) -> str:
+        return f"MaxRate(in_flight={self.in_flight!r}, batch_size={self.batch_size!r})"

@@ -1,0 +1,114 @@
+"""Reporters: where a benchmark run's results go.
+
+Caliper separates *measuring* from *reporting*; so does the runner.  A
+:class:`Reporter` receives the finished
+:class:`~repro.workload.runner.BenchmarkReport` once, after all rounds:
+
+* :class:`JsonReporter` — persists the ``BENCH_*.json`` shape (the
+  figure-shaped ``rows`` plus the full per-round metric dicts) to a file;
+* :class:`ConsoleReporter` — prints each round's diagnostics block.
+
+``deterministic_fingerprint`` / ``golden_drift`` back the CI golden check:
+every metric the simulation produces is a pure function of (spec, config,
+cost model), so a checked-in fingerprint detects any drift in the measured
+pipeline.  Floats are rounded to 9 significant digits before comparison so
+the fingerprint survives serialization round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Optional
+
+from .metrics import BenchmarkResult
+from .report import format_result_details
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import BenchmarkReport
+
+
+class Reporter:
+    """Consumes one finished benchmark report."""
+
+    def emit(self, report: "BenchmarkReport") -> None:
+        raise NotImplementedError
+
+
+class ConsoleReporter(Reporter):
+    """Print each round's full diagnostics block."""
+
+    def emit(self, report: "BenchmarkReport") -> None:
+        for result in report.results:
+            print(format_result_details(result))
+            print()
+
+
+class JsonReporter(Reporter):
+    """Serialize the report to ``path`` in the ``BENCH_*.json`` shape."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def emit(self, report: "BenchmarkReport") -> None:
+        payload = report.to_dict()
+        tmp_path = f"{self.path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        os.replace(tmp_path, self.path)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic-metrics fingerprinting (the CI golden check)
+# ---------------------------------------------------------------------------
+
+
+def _rounded(value: float) -> float:
+    return float(f"{value:.9g}")
+
+
+def deterministic_fingerprint(result: BenchmarkResult) -> dict:
+    """The metrics that must never drift for a fixed (spec, config, cost)."""
+
+    return {
+        "label": result.label,
+        "total_submitted": result.total_submitted,
+        "successful": result.successful,
+        "failed": result.failed,
+        "duration_s": _rounded(result.duration_s),
+        "throughput_tps": _rounded(result.throughput_tps),
+        "avg_latency_s": _rounded(result.avg_latency_s),
+        "max_latency_s": _rounded(result.max_latency_s),
+        "failure_codes": dict(sorted(result.failure_codes.items())),
+        "blocks_committed": result.blocks_committed,
+        "avg_block_fill": _rounded(result.avg_block_fill),
+        "merge_ops": result.merge_ops,
+        "merge_scan_steps": result.merge_scan_steps,
+        "endorsement_failures": result.endorsement_failures,
+    }
+
+
+def golden_drift(
+    results: list[BenchmarkResult], golden: list[dict]
+) -> Optional[str]:
+    """Compare results against a checked-in golden fingerprint list.
+
+    Returns ``None`` when everything matches, else a human-readable
+    description of the first drift (for the CI job log).
+    """
+
+    if len(results) != len(golden):
+        return (
+            f"round count drifted: measured {len(results)} rounds, "
+            f"golden has {len(golden)}"
+        )
+    for index, (result, expected) in enumerate(zip(results, golden)):
+        measured = deterministic_fingerprint(result)
+        for key in sorted(set(measured) | set(expected)):
+            if measured.get(key) != expected.get(key):
+                return (
+                    f"round {index} ({measured['label']}): {key} drifted — "
+                    f"measured {measured.get(key)!r}, golden {expected.get(key)!r}"
+                )
+    return None

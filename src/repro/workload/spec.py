@@ -8,16 +8,31 @@ transaction count.  Factory functions build the exact spec of each table.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..common.errors import WorkloadError
+
+#: The paper's per-run transaction count — the default stop condition.
+DEFAULT_TOTAL_TRANSACTIONS = 10000
 
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Parameters of one experiment workload."""
+    """Parameters of one experiment workload.
+
+    Exactly one stop condition applies: ``total_transactions`` (the paper's
+    mode — submit a fixed count) or ``duration_seconds`` (submit for a fixed
+    stretch of virtual time, Caliper's ``txDuration``).  Passing both is an
+    error; passing neither defaults to the paper's 10,000 transactions.
+    """
 
     #: Total transactions submitted (the paper always uses 10,000).
-    total_transactions: int = 10000
+    #: ``None`` only when ``duration_seconds`` is the stop condition.
+    total_transactions: Optional[int] = None
+    #: Alternative stop condition: submit for this many (virtual) seconds
+    #: instead of counting transactions.  Mutually exclusive with
+    #: ``total_transactions``.
+    duration_seconds: Optional[float] = None
     #: Aggregate submission rate across all clients (transactions/second).
     rate_tps: float = 300.0
     #: Number of submitting clients (the paper uses 4).
@@ -40,8 +55,18 @@ class WorkloadSpec:
     seed: int = 7
 
     def __post_init__(self) -> None:
-        if self.total_transactions < 1:
+        if self.total_transactions is not None and self.duration_seconds is not None:
+            raise WorkloadError(
+                "total_transactions and duration_seconds are mutually exclusive "
+                "stop conditions; pass exactly one (or neither for the paper's "
+                f"default of {DEFAULT_TOTAL_TRANSACTIONS})"
+            )
+        if self.total_transactions is None and self.duration_seconds is None:
+            object.__setattr__(self, "total_transactions", DEFAULT_TOTAL_TRANSACTIONS)
+        if self.total_transactions is not None and self.total_transactions < 1:
             raise WorkloadError("need at least one transaction")
+        if self.duration_seconds is not None and self.duration_seconds <= 0:
+            raise WorkloadError("duration must be positive")
         if self.rate_tps <= 0:
             raise WorkloadError("rate must be positive")
         if self.num_clients < 1:
@@ -77,10 +102,19 @@ class WorkloadSpec:
     def scaled(self, total_transactions: int) -> "WorkloadSpec":
         """Same workload at a different transaction count (CI-scale runs)."""
 
-        return replace(self, total_transactions=total_transactions)
+        return replace(
+            self, total_transactions=total_transactions, duration_seconds=None
+        )
 
     def with_crdt(self, use_crdt: bool) -> "WorkloadSpec":
         return replace(self, use_crdt=use_crdt)
+
+    def for_duration(self, duration_seconds: float) -> "WorkloadSpec":
+        """Same workload stopped by virtual time instead of a count."""
+
+        return replace(
+            self, total_transactions=None, duration_seconds=duration_seconds
+        )
 
 
 # ---------------------------------------------------------------------------

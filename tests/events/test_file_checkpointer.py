@@ -1,0 +1,99 @@
+"""Tests for the durable FileCheckpointer (atomic save / lossless load)."""
+
+import json
+
+import pytest
+
+from repro import Gateway, crdt_network, fabriccrdt_config
+from repro.core.counters import VotingChaincode
+from repro.events import Checkpoint, CheckpointError, FileCheckpointer
+
+
+class TestSaveLoad:
+    def test_load_before_any_save_returns_none(self, tmp_path):
+        assert FileCheckpointer(tmp_path / "cp.json").load() is None
+
+    def test_round_trip(self, tmp_path):
+        checkpointer = FileCheckpointer(tmp_path / "cp.json")
+        checkpointer.save(Checkpoint(7, 3))
+        assert checkpointer.load() == Checkpoint(7, 3)
+
+    def test_save_overwrites(self, tmp_path):
+        checkpointer = FileCheckpointer(tmp_path / "cp.json")
+        checkpointer.save(Checkpoint(1))
+        checkpointer.save(Checkpoint(2, 5))
+        assert checkpointer.load() == Checkpoint(2, 5)
+
+    def test_reopen_from_path(self, tmp_path):
+        """A fresh checkpointer instance (a 'restarted consumer') sees the
+        previously saved position."""
+
+        path = tmp_path / "cp.json"
+        FileCheckpointer(path).save(Checkpoint(4, 1))
+        assert FileCheckpointer(path).load() == Checkpoint(4, 1)
+
+    def test_clear(self, tmp_path):
+        checkpointer = FileCheckpointer(tmp_path / "cp.json")
+        checkpointer.save(Checkpoint(1))
+        checkpointer.clear()
+        assert checkpointer.load() is None
+        checkpointer.clear()  # idempotent
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "cp.json"
+        FileCheckpointer(path).save(Checkpoint(9, 2))
+        assert json.loads(path.read_text()) == {"block_number": 9, "tx_index": 2}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        checkpointer = FileCheckpointer(tmp_path / "cp.json")
+        checkpointer.save(Checkpoint(1))
+        assert [p.name for p in tmp_path.iterdir()] == ["cp.json"]
+
+
+class TestCorruption:
+    @pytest.mark.parametrize("content", ("not json", '"a string"', "[1, 2]", "{}"))
+    def test_corrupt_file_raises(self, tmp_path, content):
+        path = tmp_path / "cp.json"
+        path.write_text(content)
+        with pytest.raises(CheckpointError):
+            FileCheckpointer(path).load()
+
+    def test_saving_non_checkpoint_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            FileCheckpointer(tmp_path / "cp.json").save({"block_number": 1})
+
+
+class TestStreamIntegration:
+    def test_resume_stream_from_file(self, tmp_path):
+        """The example's crash/recover flow: checkpoint to disk, miss
+        events, resume exactly after the last delivered one."""
+
+        network = crdt_network(fabriccrdt_config(max_message_count=2))
+        network.deploy(VotingChaincode())
+        contract = Gateway.connect(network).get_contract("voting")
+        checkpointer = FileCheckpointer(tmp_path / "listener.json")
+
+        def vote(n, offset=0):
+            txs = [
+                contract.submit_async("vote", "e", "opt", f"v{offset + i}")
+                for i in range(n)
+            ]
+            for tx in txs:
+                assert tx.commit_status().succeeded
+
+        live = contract.contract_events(event_name="voted")
+        seen = []
+        live.on_event(lambda event: seen.append(event))
+        vote(2)
+        checkpointer.save(live.checkpoint())
+        live.close()
+
+        vote(4, offset=2)  # missed while "down"
+
+        resumed = contract.contract_events(
+            event_name="voted", checkpoint=checkpointer.load()
+        )
+        replayed = list(resumed)
+        resumed.close()
+        assert len(seen) == 2
+        assert len(replayed) == 4

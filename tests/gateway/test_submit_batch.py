@@ -1,0 +1,139 @@
+"""Tests for Contract.submit_batch — coalesced submission on both transports."""
+
+import json
+
+import pytest
+
+from repro import Gateway, crdt_network, fabriccrdt_config
+from repro.common.config import NetworkConfig, OrdererConfig, TopologyConfig
+from repro.core.network import crdt_peer_factory
+from repro.fabric.network import SimulatedNetwork
+from repro.gateway.errors import EndorseError
+from repro.sim import Environment
+from repro.workload.iot import IOT_CHAINCODE_NAME, IoTChaincode, encode_call, reading_payload
+
+
+def _calls(count, key="device-1"):
+    return [
+        (encode_call([key], [key], reading_payload(key, 20 + i, i), crdt=True),)
+        for i in range(count)
+    ]
+
+
+def _populate(contract, keys=("device-1",)):
+    contract.submit("populate", json.dumps({"keys": list(keys)}))
+
+
+def _des_network(block_size=25):
+    config = NetworkConfig(
+        topology=TopologyConfig(num_orgs=1, peers_per_org=1),
+        orderer=OrdererConfig(max_message_count=block_size),
+        crdt_enabled=True,
+    )
+    env = Environment()
+    return SimulatedNetwork(
+        env, config, peer_factory=crdt_peer_factory(config.crdt)
+    )
+
+
+class TestSyncTransportBatch:
+    def test_batch_commits_every_transaction(self):
+        network = crdt_network(fabriccrdt_config(max_message_count=25))
+        network.deploy(IoTChaincode())
+        contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
+        _populate(contract)
+        txs = contract.submit_batch("record", _calls(10))
+        assert len(txs) == 10
+        statuses = [tx.commit_status() for tx in txs]
+        assert all(status.succeeded for status in statuses)
+
+    def test_empty_batch(self):
+        network = crdt_network(fabriccrdt_config())
+        network.deploy(IoTChaincode())
+        contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
+        assert contract.submit_batch("record", []) == []
+
+
+class TestDESTransportBatch:
+    def test_batch_commits_and_returns_results(self):
+        network = _des_network()
+        network.deploy(IoTChaincode())
+        contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
+        network.bootstrap(
+            IOT_CHAINCODE_NAME, "populate", [(json.dumps({"keys": ["device-1"]}),)]
+        )
+        txs = contract.submit_batch("record", _calls(10))
+        assert len(txs) == 10
+        statuses = [tx.commit_status() for tx in txs]
+        assert all(status.succeeded for status in statuses)
+        assert all(tx.result() is not None for tx in txs)
+
+    def test_batch_coalesces_into_one_block(self):
+        """The whole burst rides one envelope dispatch: with room in the
+        block, every transaction of the batch lands in the same block."""
+
+        network = _des_network(block_size=25)
+        network.deploy(IoTChaincode())
+        contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
+        network.bootstrap(
+            IOT_CHAINCODE_NAME, "populate", [(json.dumps({"keys": ["device-1"]}),)]
+        )
+        txs = contract.submit_batch("record", _calls(20))
+        blocks = {tx.commit_status().block_num for tx in txs}
+        assert blocks == {1}
+
+    def test_batch_equals_plan_of_singletons_semantically(self):
+        """Same writes commit whether submitted as a batch or one by one.
+
+        Arrival order differs (singleton flows draw independent latencies;
+        the batch rides one draw), so the merged reading *list* may be
+        permuted — the committed *set* of readings must be identical.
+        """
+
+        def run(batched):
+            network = _des_network()
+            network.deploy(IoTChaincode())
+            contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
+            network.bootstrap(
+                IOT_CHAINCODE_NAME, "populate", [(json.dumps({"keys": ["device-1"]}),)]
+            )
+            if batched:
+                txs = contract.submit_batch("record", _calls(8))
+            else:
+                txs = [contract.submit_async("record", call) for (call,) in _calls(8)]
+            assert all(tx.commit_status().succeeded for tx in txs)
+            state = contract.evaluate("read_device", json.dumps({"key": "device-1"}))
+            readings = sorted(
+                (reading["ts"], reading["temperature"])
+                for reading in state["tempReadings"]
+            )
+            return state["deviceID"], readings
+
+        assert run(True) == run(False)
+
+    def test_endorsement_failure_surfaces_per_transaction(self):
+        network = _des_network()
+        network.deploy(IoTChaincode())
+        contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
+        failures = []
+        good_call = _calls(1)[0]
+        bad_call = ("this is not json",)
+        txs = contract.submit_batch(
+            "record",
+            [good_call, bad_call],
+            on_endorsement_failure=lambda tx_id, now: failures.append(tx_id),
+        )
+        # Drive the simulation: the good transaction commits...
+        assert txs[0].commit_status().succeeded
+        # ...the bad one raises EndorseError, and the hook saw exactly it.
+        with pytest.raises(EndorseError):
+            txs[1].commit_status()
+        assert failures == [txs[1].tx_id]
+
+    def test_batch_members_report_function_metadata(self):
+        network = _des_network()
+        network.deploy(IoTChaincode())
+        contract = Gateway.connect(network).get_contract(IOT_CHAINCODE_NAME)
+        txs = contract.submit_batch("record", _calls(2))
+        assert all(tx.chaincode == IOT_CHAINCODE_NAME for tx in txs)
+        assert all(tx.function == "record" for tx in txs)

@@ -1,8 +1,10 @@
-"""Small end-to-end runs through the Caliper-equivalent driver.
+"""Small end-to-end runs through the declarative benchmark runner.
 
 These are the integration tests for the full measured pipeline: DES network,
-workload generation, pre-population, open-loop clients, metric collection.
-Scales are tiny; the full-scale runs live in benchmarks/.
+workload generation, pre-population, open-loop clients, metric collection —
+declared as ``Benchmark``/``Round`` experiments.  The legacy ``run_workload``
+shim is covered by an explicit byte-identical compatibility test.  Scales
+are tiny; the full-scale runs live in benchmarks/.
 """
 
 import pytest
@@ -13,8 +15,8 @@ from repro.common.config import (
     OrdererConfig,
     TopologyConfig,
 )
-from repro.fabric.costmodel import CostModel
-from repro.workload.caliper import run_workload
+from repro.common.deprecation import reset_deprecation_warnings
+from repro.workload.runner import Benchmark, Round
 from repro.workload.spec import WorkloadSpec
 
 
@@ -28,19 +30,23 @@ def light_config(block_size, crdt_enabled, seed=0):
     )
 
 
+def one_round(spec, config, **round_kwargs):
+    return Benchmark([Round(spec, config, **round_kwargs)]).run().results[0]
+
+
 SPEC = WorkloadSpec(total_transactions=200, rate_tps=300.0)
 
 
 class TestCRDTRun:
     def test_all_transactions_succeed(self):
-        result = run_workload(SPEC, light_config(25, True))
+        result = one_round(SPEC, light_config(25, True))
         assert result.total_submitted == 200
         assert result.successful == 200
         assert result.failed == 0
         assert result.merge_ops > 0
 
     def test_throughput_and_latency_positive(self):
-        result = run_workload(SPEC, light_config(25, True))
+        result = one_round(SPEC, light_config(25, True))
         assert result.throughput_tps > 0
         assert result.avg_latency_s > 0
         assert result.duration_s >= 200 / 300.0 * 0.9
@@ -48,7 +54,7 @@ class TestCRDTRun:
 
 class TestFabricRun:
     def test_conflicting_workload_mostly_fails(self):
-        result = run_workload(SPEC.with_crdt(False), light_config(50, False))
+        result = one_round(SPEC.with_crdt(False), light_config(50, False))
         assert result.total_submitted == 200
         assert 1 <= result.successful < 50
         assert result.failure_codes.get("MVCC_READ_CONFLICT", 0) > 100
@@ -56,18 +62,47 @@ class TestFabricRun:
     def test_non_conflicting_workload_all_succeeds(self):
         spec = WorkloadSpec(total_transactions=150, rate_tps=300.0, conflict_pct=0.0,
                             use_crdt=False)
-        result = run_workload(spec, light_config(50, False))
+        result = one_round(spec, light_config(50, False))
         assert result.successful == 150
 
 
 class TestDeterminism:
     def test_same_seed_same_metrics(self):
-        first = run_workload(SPEC, light_config(25, True, seed=3))
-        second = run_workload(SPEC, light_config(25, True, seed=3))
+        first = one_round(SPEC, light_config(25, True, seed=3))
+        second = one_round(SPEC, light_config(25, True, seed=3))
         assert first.throughput_tps == pytest.approx(second.throughput_tps)
         assert first.avg_latency_s == pytest.approx(second.avg_latency_s)
         assert first.successful == second.successful
         assert first.blocks_committed == second.blocks_committed
+
+
+class TestRunWorkloadCompat:
+    """The legacy monolithic driver is a byte-identical shim over Round."""
+
+    @pytest.mark.parametrize("seed", (0, 3))
+    @pytest.mark.parametrize("crdt_enabled,block_size", ((True, 25), (False, 50)))
+    def test_byte_identical_to_declared_round(self, seed, crdt_enabled, block_size):
+        from repro.workload.caliper import run_workload
+
+        spec = SPEC.with_crdt(crdt_enabled)
+        config = light_config(block_size, crdt_enabled, seed=seed)
+        with pytest.warns(DeprecationWarning, match="run_workload"):
+            reset_deprecation_warnings()
+            legacy = run_workload(spec, config)
+        declared = one_round(spec, config)
+        assert legacy.to_dict() == declared.to_dict()
+
+    def test_warns_once_per_process(self):
+        import warnings
+
+        from repro.workload.caliper import run_workload
+
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            run_workload(SPEC, light_config(25, True))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_workload(SPEC, light_config(25, True))
 
 
 class TestTopologies:
@@ -79,12 +114,13 @@ class TestTopologies:
             crdt_enabled=True,
         )
         from repro.sim import Environment
-        from repro.workload.caliper import build_network
-        from repro.workload.generator import generate_plan, keys_to_populate
         from repro.gateway import Gateway
+        from repro.workload.clients import OpenLoopClient, RoundContext
+        from repro.workload.generator import generate_plan, keys_to_populate
         from repro.workload.iot import IOT_CHAINCODE_NAME, IoTChaincode
         from repro.workload.metrics import MetricsCollector
-        from repro.workload.caliper import populate_ledger, _client_process
+        from repro.workload.rate import FixedRate
+        from repro.workload.runner import build_network, populate_ledger
 
         env = Environment()
         network = build_network(env, config)
@@ -94,21 +130,22 @@ class TestTopologies:
         gateway = Gateway.connect(network)
         collector = MetricsCollector(env, expected=len(plan))
         collector.observe(gateway.block_events())
-        per_client = {}
-        for tx in plan:
-            per_client.setdefault(tx.client, []).append(tx)
         contract = gateway.get_contract(IOT_CHAINCODE_NAME)
-        for client_index, transactions in sorted(per_client.items()):
-            env.process(
-                _client_process(env, contract, client_index, transactions, collector)
+        OpenLoopClient().start(
+            RoundContext(
+                env=env,
+                gateway=gateway,
+                contract=contract,
+                plan=plan,
+                collector=collector,
+                rate=FixedRate(spec.rate_tps),
             )
+        )
         env.run(until=collector.done)
-        # All six peers converge to identical world states.
-        reference = network.peers()[0].ledger.state.snapshot_versions()
-        for peer in network.peers()[1:]:
-            # Peers may still be committing the last block when the anchor
-            # finished; drain remaining events first.
-            pass
+        # All six peers converge to identical world states.  Peers may still
+        # be committing the last block when the anchor finished; drain
+        # remaining events first.
         env.run()
+        reference = network.peers()[0].ledger.state.snapshot_versions()
         for peer in network.peers()[1:]:
             assert peer.ledger.state.snapshot_versions() == reference

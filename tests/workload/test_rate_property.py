@@ -1,0 +1,135 @@
+"""Property tests: rate controllers and the closed-loop in-flight cap.
+
+The determinism contract of :mod:`repro.workload.rate`: for fixed
+constructor arguments every controller emits the same monotonically
+non-decreasing, non-negative schedule on every call — and closed-loop
+clients never exceed their declared in-flight cap, whatever the cap,
+batch size, and transaction count.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import WorkloadError
+from repro.workload.rate import FixedRate, LinearRamp, MaxRate, PoissonArrival
+
+rates = st.floats(min_value=0.5, max_value=5000.0, allow_nan=False)
+counts = st.integers(min_value=0, max_value=500)
+
+
+def controllers() -> st.SearchStrategy:
+    return st.one_of(
+        st.builds(FixedRate, tps=rates),
+        st.builds(PoissonArrival, tps=rates, seed=st.integers(0, 2**32)),
+        st.builds(
+            LinearRamp,
+            start_tps=rates,
+            end_tps=rates,
+            ramp_transactions=st.integers(1, 400),
+        ),
+    )
+
+
+class TestOpenLoopSchedules:
+    @given(controller=controllers(), count=counts)
+    def test_times_monotone_non_decreasing_and_non_negative(self, controller, count):
+        times = controller.submit_times(count)
+        assert len(times) == count
+        assert all(t >= 0.0 for t in times)
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    @given(controller=controllers(), count=counts)
+    def test_seed_deterministic(self, controller, count):
+        assert controller.submit_times(count) == controller.submit_times(count)
+
+    @given(controller=controllers(), count=st.integers(1, 200))
+    def test_prefixes_consistent(self, controller, count):
+        """Drawing fewer transactions never changes the earlier instants."""
+
+        longer = controller.submit_times(count)
+        shorter = controller.submit_times(count // 2)
+        assert longer[: len(shorter)] == shorter
+
+    @given(
+        controller=controllers(),
+        duration=st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+    )
+    def test_times_until_bounded_and_prefix_consistent(self, controller, duration):
+        times = controller.times_until(duration)
+        assert all(0.0 <= t <= duration for t in times)
+        assert times == controller.submit_times(len(times))
+
+    def test_fixed_rate_matches_historical_schedule(self):
+        """The seed driver's ``index / rate_tps``, byte for byte."""
+
+        tps = 300.0
+        assert FixedRate(tps).submit_times(100) == [i / tps for i in range(100)]
+
+    def test_poisson_seeds_decouple(self):
+        a = PoissonArrival(200.0, seed=1).submit_times(50)
+        b = PoissonArrival(200.0, seed=2).submit_times(50)
+        assert a != b
+
+    def test_ramp_accelerates(self):
+        ramp = LinearRamp(10.0, 1000.0, 100)
+        times = ramp.submit_times(100)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps[0] > gaps[-1]
+
+    @pytest.mark.parametrize("bad", (0.0, -1.0))
+    def test_invalid_rates_rejected(self, bad):
+        with pytest.raises(WorkloadError):
+            FixedRate(bad)
+        with pytest.raises(WorkloadError):
+            PoissonArrival(bad)
+        with pytest.raises(WorkloadError):
+            LinearRamp(bad, 10.0, 5)
+
+
+class TestMaxRateController:
+    def test_has_no_schedule(self):
+        with pytest.raises(WorkloadError, match="closed-loop"):
+            MaxRate().submit_times(5)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MaxRate(in_flight=0)
+        with pytest.raises(WorkloadError):
+            MaxRate(in_flight=4, batch_size=0)
+        with pytest.raises(WorkloadError):
+            MaxRate(in_flight=4, batch_size=8)
+
+
+class TestClosedLoopCapProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        in_flight=st.integers(min_value=1, max_value=24),
+        batch_fraction=st.integers(min_value=1, max_value=24),
+        transactions=st.integers(min_value=5, max_value=60),
+    )
+    def test_never_exceeds_in_flight_cap(self, in_flight, batch_fraction, transactions):
+        from repro.common.config import fabriccrdt_config
+        from repro.workload.clients import ClosedLoopClient
+        from repro.workload.runner import Benchmark, Round
+        from repro.workload.spec import WorkloadSpec
+
+        batch_size = min(batch_fraction, in_flight)
+        client = ClosedLoopClient()
+        spec = WorkloadSpec(total_transactions=transactions, rate_tps=300.0)
+        result = (
+            Benchmark(
+                [
+                    Round(
+                        spec,
+                        fabriccrdt_config(8, seed=0),
+                        rate=MaxRate(in_flight=in_flight, batch_size=batch_size),
+                        client=client,
+                    )
+                ]
+            )
+            .run()
+            .results[0]
+        )
+        assert result.successful == transactions
+        assert client.max_in_flight_observed <= in_flight

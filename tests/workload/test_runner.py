@@ -1,0 +1,251 @@
+"""Tests for the declarative benchmark runner (Benchmark / Round / reporters)."""
+
+import json
+
+import pytest
+
+from repro.common.config import (
+    CRDTConfig,
+    NetworkConfig,
+    OrdererConfig,
+    TopologyConfig,
+)
+from repro.common.errors import WorkloadError
+from repro.workload.clients import ClosedLoopClient
+from repro.workload.rate import FixedRate, LinearRamp, MaxRate, PoissonArrival
+from repro.workload.reporter import (
+    JsonReporter,
+    deterministic_fingerprint,
+    golden_drift,
+)
+from repro.workload.runner import Benchmark, BenchmarkReport, Round
+from repro.workload.spec import WorkloadSpec
+
+
+def light_config(block_size=25, crdt_enabled=True, seed=0):
+    return NetworkConfig(
+        topology=TopologyConfig(num_orgs=1, peers_per_org=1),
+        orderer=OrdererConfig(max_message_count=block_size),
+        crdt=CRDTConfig(),
+        crdt_enabled=crdt_enabled,
+        seed=seed,
+    )
+
+
+SPEC = WorkloadSpec(total_transactions=120, rate_tps=300.0)
+
+
+class TestRoundDefaults:
+    def test_default_rate_is_spec_fixed_rate(self):
+        round_ = Round(SPEC, light_config())
+        rate = round_.resolved_rate()
+        assert isinstance(rate, FixedRate)
+        assert rate.tps == SPEC.rate_tps
+
+    def test_default_client_matches_controller(self):
+        from repro.workload.clients import OpenLoopClient
+
+        assert isinstance(Round(SPEC, light_config()).resolved_client(), OpenLoopClient)
+        closed = Round(SPEC, light_config(), rate=MaxRate(in_flight=10))
+        assert isinstance(closed.resolved_client(), ClosedLoopClient)
+
+    def test_default_label_names_system_and_block_size(self):
+        assert Round(SPEC, light_config(25, True)).resolved_label() == "FabricCRDT-25txb"
+        assert (
+            Round(SPEC.with_crdt(False), light_config(400, False)).resolved_label()
+            == "Fabric-400txb"
+        )
+        assert Round(SPEC, light_config(), label="mine").resolved_label() == "mine"
+
+
+class TestBenchmarkRuns:
+    def test_two_round_fabric_vs_fabriccrdt(self):
+        report = Benchmark(
+            [
+                Round(SPEC, light_config(25, True), label="crdt"),
+                Round(SPEC.with_crdt(False), light_config(50, False), label="fabric"),
+            ]
+        ).run()
+        by_label = report.by_label()
+        assert by_label["crdt"].successful == 120
+        assert by_label["fabric"].successful < 120
+        assert [row["label"] for row in report.rows()] == ["crdt", "fabric"]
+
+    def test_empty_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            Benchmark([])
+
+    def test_rounds_are_independent_experiments(self):
+        """The same round twice yields identical metrics: fresh networks."""
+
+        report = Benchmark(
+            [Round(SPEC, light_config()), Round(SPEC, light_config())]
+        ).run()
+        first, second = report.results
+        assert first.to_dict() == second.to_dict()
+
+    def test_poisson_and_ramp_rounds_complete(self):
+        report = Benchmark(
+            [
+                Round(SPEC, light_config(), rate=PoissonArrival(300.0, seed=2)),
+                Round(SPEC, light_config(), rate=LinearRamp(100.0, 400.0, 120)),
+            ]
+        ).run()
+        assert all(result.successful == 120 for result in report.results)
+
+    def test_duration_stop_condition(self):
+        spec = WorkloadSpec(duration_seconds=0.2, rate_tps=300.0)
+        result = Benchmark([Round(spec, light_config())]).run().results[0]
+        # 300 tx/s for 0.2 s → 61 submissions (instants 0.0 .. 0.2 inclusive).
+        assert result.total_submitted == 61
+        assert result.successful == 61
+
+
+class TestClosedLoopRound:
+    def test_maxrate_round_completes_via_event_streams(self):
+        client = ClosedLoopClient()
+        result = (
+            Benchmark(
+                [
+                    Round(
+                        SPEC,
+                        light_config(),
+                        rate=MaxRate(in_flight=30, batch_size=10),
+                        client=client,
+                    )
+                ]
+            )
+            .run()
+            .results[0]
+        )
+        assert result.successful == 120
+        assert result.failed == 0
+        assert 0 < client.max_in_flight_observed <= 30
+
+    def test_closed_loop_batches_share_blocks(self):
+        """Coalesced bursts land together: block fill tracks the batch size,
+        not the one-tx-per-flow trickle of the open-loop client."""
+
+        result = (
+            Benchmark(
+                [Round(SPEC, light_config(25), rate=MaxRate(in_flight=25, batch_size=25))]
+            )
+            .run()
+            .results[0]
+        )
+        assert result.successful == 120
+        assert result.avg_block_fill > 10
+
+    def test_closed_loop_needs_transaction_count(self):
+        spec = WorkloadSpec(duration_seconds=1.0, rate_tps=300.0)
+        with pytest.raises(WorkloadError, match="closed-loop"):
+            Benchmark([Round(spec, light_config(), rate=MaxRate())]).run()
+
+    def test_closed_loop_determinism(self):
+        def run():
+            return (
+                Benchmark(
+                    [Round(SPEC, light_config(seed=4), rate=MaxRate(in_flight=20))]
+                )
+                .run()
+                .results[0]
+            )
+
+        assert run().to_dict() == run().to_dict()
+
+
+class TestClosedLoopOnInlineTransport:
+    def test_inline_commits_do_not_leak_window_slots(self):
+        """On SyncTransport, blocks cut (and deliver events) *inside*
+        submit_batch; transactions that resolve during the call must not be
+        tracked as in-flight ghosts that pin window slots forever."""
+
+        import json
+        from types import SimpleNamespace
+
+        from repro import Gateway, crdt_network, fabriccrdt_config
+        from repro.workload.clients import RoundContext
+        from repro.workload.generator import generate_plan
+        from repro.workload.iot import IOT_CHAINCODE_NAME, IoTChaincode
+        from repro.workload.rate import FixedRate
+
+        network = crdt_network(fabriccrdt_config(max_message_count=5))
+        network.deploy(IoTChaincode())
+        gateway = Gateway.connect(network)
+        contract = gateway.get_contract(IOT_CHAINCODE_NAME)
+        contract.submit("populate", json.dumps({"keys": ["device-hot-0"]}))
+        base_statuses = len(network.channel.statuses)
+
+        spec = WorkloadSpec(total_transactions=40, rate_tps=300.0)
+        plan = generate_plan(spec)
+        client = ClosedLoopClient()
+        collector = SimpleNamespace(on_endorsement_failure=lambda tx_id, now: None)
+        client.start(
+            RoundContext(
+                env=None,
+                gateway=gateway,
+                contract=contract,
+                plan=plan,
+                collector=collector,
+                rate=MaxRate(in_flight=8, batch_size=4),
+            )
+        )
+        # Drain the tail: flush the orderer's partial batch until every
+        # planned transaction has resolved (each flush frees slots, which
+        # triggers further refills through the inline event stream).
+        for _ in range(100):
+            if len(network.channel.statuses) >= base_statuses + 40:
+                break
+            network.transport.flush()
+        client.finish()
+        assert len(network.channel.statuses) == base_statuses + 40
+        assert 0 < client.max_in_flight_observed <= 8
+        # Every transaction resolved, so no slot may still be held: a
+        # transaction that committed *during* submit_batch must not linger
+        # as an in-flight ghost.
+        assert client.window.outstanding == set()
+
+
+class TestMaxSimTime:
+    def test_cap_aborts_unfinished_round(self):
+        round_ = Round(SPEC, light_config())
+        with pytest.raises(RuntimeError, match="transactions resolved"):
+            Benchmark([round_], max_sim_time=1e-4).run()
+
+    def test_cap_does_not_perturb_finished_round(self):
+        bounded = Benchmark([Round(SPEC, light_config())], max_sim_time=1e7).run()
+        generous = Benchmark([Round(SPEC, light_config())], max_sim_time=1e9).run()
+        assert bounded.results[0].to_dict() == generous.results[0].to_dict()
+
+
+class TestReporters:
+    def test_json_reporter_writes_bench_shape(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        Benchmark(
+            [Round(SPEC, light_config(), label="r0")],
+            reporter=JsonReporter(str(path)),
+        ).run()
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"results", "rows"}
+        assert payload["rows"][0]["label"] == "r0"
+        assert payload["results"][0]["successful"] == 120
+
+    def test_fingerprint_detects_drift(self):
+        report = Benchmark([Round(SPEC, light_config())]).run()
+        golden = [deterministic_fingerprint(report.results[0])]
+        assert golden_drift(report.results, golden) is None
+        tampered = [dict(golden[0], successful=golden[0]["successful"] + 1)]
+        drift = golden_drift(report.results, tampered)
+        assert drift is not None and "successful" in drift
+        assert golden_drift(report.results, []) is not None
+
+    def test_report_round_trip_through_json(self):
+        report = Benchmark([Round(SPEC, light_config())]).run()
+        assert json.loads(json.dumps(report.to_dict())) == report.to_dict()
+
+
+class TestBenchmarkReportShape:
+    def test_by_label_and_rows(self):
+        report = BenchmarkReport()
+        assert report.rows() == []
+        assert report.by_label() == {}

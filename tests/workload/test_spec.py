@@ -36,6 +36,51 @@ class TestValidation:
         assert spec.total_transactions == 10000
         assert spec.rate_tps == 300.0
         assert spec.num_clients == 4
+        assert spec.duration_seconds is None
+
+
+class TestStopConditions:
+    def test_count_and_duration_mutually_exclusive(self):
+        with pytest.raises(WorkloadError, match="mutually exclusive"):
+            WorkloadSpec(total_transactions=100, duration_seconds=5.0)
+
+    def test_duration_only_spec(self):
+        spec = WorkloadSpec(duration_seconds=5.0)
+        assert spec.total_transactions is None
+        assert spec.duration_seconds == 5.0
+
+    @pytest.mark.parametrize("duration", (0.0, -1.0))
+    def test_non_positive_duration_rejected(self, duration):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(duration_seconds=duration)
+
+    def test_for_duration_swaps_stop_condition(self):
+        spec = WorkloadSpec(total_transactions=100).for_duration(2.5)
+        assert spec.total_transactions is None
+        assert spec.duration_seconds == 2.5
+
+    def test_scaled_swaps_back_to_count(self):
+        spec = WorkloadSpec(duration_seconds=5.0).scaled(100)
+        assert spec.total_transactions == 100
+        assert spec.duration_seconds is None
+
+    def test_duration_plan_length_follows_rate(self):
+        from repro.workload.generator import generate_plan
+
+        plan = generate_plan(WorkloadSpec(duration_seconds=1.0, rate_tps=100.0))
+        # Instants 0.00, 0.01, ..., 1.00 inclusive.
+        assert len(plan) == 101
+        assert plan[-1].submit_time <= 1.0
+
+    def test_too_short_duration_rejected_at_plan_time(self):
+        from repro.workload.generator import plan_times
+        from repro.workload.rate import LinearRamp
+
+        # First instant is 0.0 for every controller, so any positive
+        # duration admits at least one transaction.
+        assert plan_times(WorkloadSpec(duration_seconds=1e-9), None) == [0.0]
+        assert len(plan_times(WorkloadSpec(duration_seconds=0.5),
+                              LinearRamp(10.0, 20.0, 10))) >= 1
 
 
 class TestKeyNaming:
