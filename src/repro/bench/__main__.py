@@ -62,6 +62,7 @@ def _run_smoke(args: argparse.Namespace) -> int:
         transactions=min(args.transactions, 300),
         light_topology=not args.full_topology,
         seed=args.seed,
+        state_backend=args.state_backend,
     )
     started = time.time()
     report = _smoke_benchmark(scale, args.json).run()
@@ -69,7 +70,8 @@ def _run_smoke(args: argparse.Namespace) -> int:
         print(format_result_details(result))
         print()
     print(f"[smoke: {time.time() - started:.1f}s wall clock, "
-          f"{scale.transactions} txs/round, 2 rounds]")
+          f"{scale.transactions} txs/round, 2 rounds, "
+          f"{scale.state_backend} state backend]")
     if args.json:
         print(f"benchmark results written to {args.json}")
     fingerprints = [deterministic_fingerprint(result) for result in report.results]
@@ -111,6 +113,12 @@ def main(argv: list[str] | None = None) -> int:
         help="use the paper's 3-orgs x 2-peers topology (slower, same metrics)",
     )
     parser.add_argument("--seed", type=int, default=0, help="network seed")
+    parser.add_argument(
+        "--state-backend",
+        choices=["memory", "sqlite"],
+        default="memory",
+        help="world-state store backend (deterministic metrics are identical)",
+    )
     parser.add_argument("--json", metavar="PATH", help="also dump rows as JSON")
     parser.add_argument(
         "--golden",
@@ -135,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
         transactions=args.transactions,
         light_topology=not args.full_topology,
         seed=args.seed,
+        state_backend=args.state_backend,
     )
     targets = list(FIGURES) if args.target == "all" else [args.target]
     dump: dict[str, list[dict]] = {}

@@ -70,11 +70,17 @@ PAPER_FIG7_FABRIC_SUCCESS = {0: 10000, 20: 8065, 40: 5973, 60: 4051, 80: 2085}
 
 @dataclass(frozen=True)
 class ExperimentScale:
-    """How big to run: transaction count and topology."""
+    """How big to run: transaction count, topology, and state backend.
+
+    ``state_backend`` selects the peers' world-state store ("memory" or
+    "sqlite") — deterministic metrics are identical on either, so CI runs
+    the smoke benchmark on both to prove it.
+    """
 
     transactions: int = 10000
     light_topology: bool = True
     seed: int = 0
+    state_backend: str = "memory"
 
     def topology(self) -> TopologyConfig:
         if self.light_topology:
@@ -130,6 +136,7 @@ def _network_config(
         crdt=CRDTConfig(),
         crdt_enabled=crdt_enabled,
         seed=scale.seed,
+        state_backend=scale.state_backend,
     )
 
 

@@ -9,9 +9,13 @@ block timeout 2 s, preferred block bytes 128 MB.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from .errors import ConfigError
+
+#: World-state backends a network can run on (see ``repro.fabric.store``).
+STATE_BACKENDS = ("memory", "sqlite")
 
 
 @dataclass(frozen=True)
@@ -85,13 +89,31 @@ class CRDTConfig:
 
 @dataclass(frozen=True)
 class NetworkConfig:
-    """Everything needed to build a simulated Fabric / FabricCRDT network."""
+    """Everything needed to build a simulated Fabric / FabricCRDT network.
+
+    ``state_backend`` picks the world-state store every peer runs on
+    (``"memory"`` — the historical in-process dict; ``"sqlite"`` — the
+    persistent indexed backend).  ``state_dir`` is where the sqlite backend
+    keeps its per-peer database files; ``None`` uses private in-memory
+    SQLite databases (the SQL code paths without the disk).
+    """
 
     topology: TopologyConfig = field(default_factory=TopologyConfig)
     orderer: OrdererConfig = field(default_factory=OrdererConfig)
     crdt: CRDTConfig = field(default_factory=CRDTConfig)
     crdt_enabled: bool = False
     seed: int = 0
+    state_backend: str = "memory"
+    state_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.state_backend not in STATE_BACKENDS:
+            raise ConfigError(
+                f"unknown state_backend {self.state_backend!r}; "
+                f"expected one of {', '.join(STATE_BACKENDS)}"
+            )
+        if self.state_dir is not None and self.state_backend != "sqlite":
+            raise ConfigError("state_dir only applies to the sqlite backend")
 
     def with_block_size(self, max_message_count: int) -> "NetworkConfig":
         """Copy of this config with a different block size (figure sweeps)."""
@@ -101,22 +123,30 @@ class NetworkConfig:
             preferred_max_bytes=self.orderer.preferred_max_bytes,
             batch_timeout_s=self.orderer.batch_timeout_s,
         )
-        return NetworkConfig(
-            topology=self.topology,
-            orderer=orderer,
-            crdt=self.crdt,
-            crdt_enabled=self.crdt_enabled,
-            seed=self.seed,
-        )
+        return replace(self, orderer=orderer)
+
+    def with_state_backend(
+        self, state_backend: str, state_dir: Optional[str] = None
+    ) -> "NetworkConfig":
+        """Copy of this config on a different world-state backend."""
+
+        return replace(self, state_backend=state_backend, state_dir=state_dir)
 
 
-def fabric_config(max_message_count: int = 400, seed: int = 0) -> NetworkConfig:
+def fabric_config(
+    max_message_count: int = 400,
+    seed: int = 0,
+    state_backend: str = "memory",
+    state_dir: Optional[str] = None,
+) -> NetworkConfig:
     """The paper's vanilla-Fabric configuration (400 txs/block default)."""
 
     return NetworkConfig(
         orderer=OrdererConfig(max_message_count=max_message_count),
         crdt_enabled=False,
         seed=seed,
+        state_backend=state_backend,
+        state_dir=state_dir,
     )
 
 
@@ -124,6 +154,8 @@ def fabriccrdt_config(
     max_message_count: int = 25,
     seed: int = 0,
     crdt: CRDTConfig | None = None,
+    state_backend: str = "memory",
+    state_dir: Optional[str] = None,
 ) -> NetworkConfig:
     """The paper's FabricCRDT configuration (25 txs/block default)."""
 
@@ -132,4 +164,6 @@ def fabriccrdt_config(
         crdt=crdt if crdt is not None else CRDTConfig(),
         crdt_enabled=True,
         seed=seed,
+        state_backend=state_backend,
+        state_dir=state_dir,
     )

@@ -26,7 +26,7 @@ Differences from the paper's pseudocode, both configurable (DESIGN.md §3):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..common.config import CRDTConfig
 from ..common.errors import CRDTError, SerializationError
@@ -34,14 +34,44 @@ from ..common.serialization import from_bytes
 from ..common.types import ValidationCode, WriteItem
 from ..fabric.block import Block
 from ..fabric.peer import MergePlan
-from ..fabric.statedb import StateDB
+from ..fabric.store import StateStore
 from .jsonmerge import MergedKey, init_empty_crdt, is_crdt_envelope, merge_crdt
+
+
+class _BlockDecodeCache:
+    """Per-block memo of ``from_bytes`` results, keyed by the raw bytes.
+
+    A hot key appears in many transactions of one block — conflicting
+    workloads put *every* transaction on the same key — and, with
+    content-deduplicated payloads, often with byte-identical values.  The
+    committed world-state value read by ``_seed_from_state`` is likewise
+    one fixed byte string per key per block.  Caching the decode means each
+    distinct byte string is deserialized once per block instead of once per
+    transaction.  Safe because every consumer of the decoded JSON treats it
+    as read-only (merge generates operations; ``from_dict`` copies).
+    """
+
+    def __init__(self) -> None:
+        self._memo: dict[bytes, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def decode(self, raw: bytes) -> Any:
+        try:
+            value = self._memo[raw]
+            self.hits += 1
+            return value
+        except KeyError:
+            value = from_bytes(raw)  # may raise SerializationError
+            self._memo[raw] = value
+            self.misses += 1
+            return value
 
 
 def validate_merge_block(
     block: Block,
     precodes: list[Optional[ValidationCode]],
-    state: StateDB,
+    state: StateStore,
     config: CRDTConfig,
 ) -> MergePlan:
     """Build the merge plan for ``block`` (the peer applies it).
@@ -57,6 +87,7 @@ def validate_merge_block(
     forced_codes: dict[int, ValidationCode] = {}
     merge_ops = 0
     merge_scan_steps = 0
+    cache = _BlockDecodeCache()
 
     # -- first pass: merge every flagged key-value (lines 3-14) ---------------
     for tx_index, tx in enumerate(block.transactions):
@@ -66,7 +97,7 @@ def validate_merge_block(
         if not crdt_writes:
             continue  # handled as a non-CRDT transaction (line 14)
         try:
-            decoded = [(w, from_bytes(w.value)) for w in crdt_writes]
+            decoded = [(w, cache.decode(w.value)) for w in crdt_writes]
         except SerializationError:
             forced_codes[tx_index] = ValidationCode.BAD_PAYLOAD
             continue
@@ -75,7 +106,7 @@ def validate_merge_block(
                 merged = crdts.get(write.key)
                 if merged is None:  # lines 8-10: InitEmptyCRDT
                     merged = init_empty_crdt(write.key, value, actor)
-                    _seed_from_state(merged, state, config)
+                    _seed_from_state(merged, state, config, cache)
                     crdts[write.key] = merged
                 before = _scan_steps(merged)
                 operations = merge_crdt(merged, value, config)  # line 11
@@ -115,22 +146,32 @@ def validate_merge_block(
             "merge_ops": merge_ops,
             "merge_scan_steps": merge_scan_steps,
             "merge_docs": len(crdts),
+            "decode_cache_hits": cache.hits,
+            "decode_cache_misses": cache.misses,
         },
     )
 
 
-def _seed_from_state(merged: MergedKey, state: StateDB, config: CRDTConfig) -> None:
+def _seed_from_state(
+    merged: MergedKey,
+    state: StateStore,
+    config: CRDTConfig,
+    cache: Optional[_BlockDecodeCache] = None,
+) -> None:
     """Merge the committed value of the key into the fresh CRDT.
 
     JSON CRDTs seed only when ``config.seed_from_state`` asks for it;
-    state-CRDT envelopes always seed (their value is cumulative).
+    state-CRDT envelopes always seed (their value is cumulative).  ``cache``
+    is the per-block decode memo: within one block the committed bytes of a
+    key are fixed, so the hot key's state is deserialized at most once per
+    block rather than once per transaction touching it.
     """
 
     raw = state.get_value(merged.key)
     if raw is None:
         return
     try:
-        committed_value = from_bytes(raw)
+        committed_value = cache.decode(raw) if cache is not None else from_bytes(raw)
     except SerializationError:
         return  # non-JSON committed value: nothing to seed from
     if merged.kind == "state":

@@ -17,14 +17,20 @@ from .peer import CRDTPeer
 
 
 def crdt_peer_factory(crdt_config: Optional[CRDTConfig] = None):
-    """A peer factory that builds :class:`CRDTPeer` with the given config."""
+    """A peer factory that builds :class:`CRDTPeer` with the given config.
+
+    The factory forwards keyword arguments (notably ``store`` — the
+    channel's chosen :class:`~repro.fabric.store.StateStore` backend) to
+    the peer constructor.
+    """
 
     def factory(
         identity: Identity,
         membership: MembershipRegistry,
         chaincodes: ChaincodeRegistry,
+        **kwargs,
     ) -> CRDTPeer:
-        return CRDTPeer(identity, membership, chaincodes, crdt_config)
+        return CRDTPeer(identity, membership, chaincodes, crdt_config, **kwargs)
 
     return factory
 

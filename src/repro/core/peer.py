@@ -17,6 +17,7 @@ from ..fabric.block import Block
 from ..fabric.chaincode import ChaincodeRegistry
 from ..fabric.identity import Identity, MembershipRegistry
 from ..fabric.peer import CommitWork, MergePlan, Peer
+from ..fabric.store import StateStore
 from .blockmerge import validate_merge_block
 
 
@@ -29,8 +30,9 @@ class CRDTPeer(Peer):
         membership: MembershipRegistry,
         chaincodes: ChaincodeRegistry,
         crdt_config: Optional[CRDTConfig] = None,
+        store: Optional[StateStore] = None,
     ) -> None:
-        super().__init__(identity, membership, chaincodes)
+        super().__init__(identity, membership, chaincodes, store=store)
         self.crdt_config = crdt_config if crdt_config is not None else CRDTConfig()
 
     def _plan_crdt_merge(

@@ -24,6 +24,13 @@ from .policy import (
     or_policy,
 )
 from .statedb import StateDB, VersionedValue, compile_selector
+from .store import (
+    MemoryStore,
+    SqliteStore,
+    StateStore,
+    WriteBatch,
+    create_store,
+)
 from .transaction import (
     EndorsementFailure,
     Proposal,
@@ -70,6 +77,11 @@ __all__ = [
     "StateDB",
     "VersionedValue",
     "compile_selector",
+    "StateStore",
+    "MemoryStore",
+    "SqliteStore",
+    "WriteBatch",
+    "create_store",
     "Proposal",
     "ProposalResponse",
     "TransactionEnvelope",

@@ -38,7 +38,7 @@ from ..common.types import (
     ReadWriteSet,
     WriteItem,
 )
-from .statedb import StateDB
+from .store import StateStore
 
 if TYPE_CHECKING:  # pragma: no cover
     from .transaction import ChaincodeEvent
@@ -92,7 +92,7 @@ class ShimStub:
 
     def __init__(
         self,
-        state: StateDB,
+        state: StateStore,
         tx_id: str,
         timestamp: float = 0.0,
         history: Optional[HistoryProvider] = None,

@@ -16,17 +16,37 @@ from typing import Optional
 from ..common.errors import LedgerError
 from ..common.types import KeyModification, ValidationCode, Version
 from .block import GENESIS_PREVIOUS_HASH, CommittedBlock
-from .statedb import StateDB
+from .store import MemoryStore, StateStore, WriteBatch
 
 
 class Ledger:
-    """One peer's ledger."""
+    """One peer's ledger.
 
-    def __init__(self) -> None:
-        self.state = StateDB()
+    ``store`` selects the world-state backend (default: the in-memory
+    store); the blockchain structure itself — blocks, tx index, key
+    history — always lives in memory.
+    """
+
+    def __init__(self, store: Optional[StateStore] = None) -> None:
+        self.state: StateStore = store if store is not None else MemoryStore()
         self._blocks: list[CommittedBlock] = []
         self._tx_index: dict[str, tuple[int, int]] = {}  # tx_id -> (block, index)
         self._history: dict[str, list[KeyModification]] = {}
+
+    def reset_store(self, store: StateStore) -> None:
+        """Swap the world-state backend before any block committed.
+
+        Used by the channel to honour ``NetworkConfig.state_backend`` with
+        peer factories that predate the ``store`` parameter.
+        """
+
+        if self._blocks:
+            raise LedgerError(
+                f"cannot swap the state store at height {self.height}; "
+                "backends are chosen before genesis"
+            )
+        self.state.close()
+        self.state = store
 
     # -- chain accessors ---------------------------------------------------------
 
@@ -99,18 +119,24 @@ class Ledger:
 
     # -- replay ---------------------------------------------------------------------
 
-    def rebuild_state(self) -> StateDB:
-        """Replay the chain into a fresh state DB using recorded metadata.
+    def rebuild_state(self, into: Optional[StateStore] = None) -> StateStore:
+        """Replay the chain into a fresh state store using recorded metadata.
 
-        Returns the rebuilt database; callers compare it with ``self.state``.
+        Each block becomes one :class:`WriteBatch`, applied atomically —
+        the same commit path live blocks take.  Returns the rebuilt store
+        (an in-memory one unless ``into`` supplies a different backend);
+        callers compare it with ``self.state``.
         """
 
-        rebuilt = StateDB()
+        rebuilt: StateStore = into if into is not None else MemoryStore()
         for committed in self._blocks:
             block = committed.block
+            batch = WriteBatch(block_number=block.number)
             for tx_index, write in committed.writes_applied():
-                version = Version(block.number, tx_index)
-                rebuilt.apply_write(write.key, write.value, version, write.is_delete)
+                batch.put(
+                    write.key, write.value, Version(block.number, tx_index), write.is_delete
+                )
+            rebuilt.apply_batch(batch)
         return rebuilt
 
     def verify_chain(self) -> bool:

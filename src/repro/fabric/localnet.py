@@ -35,7 +35,7 @@ from .identity import MembershipRegistry
 from .ledger import Ledger
 from .peer import Peer
 from .policy import EndorsementPolicy
-from .statedb import StateDB
+from .store import StateStore
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..gateway.channel import Channel
@@ -186,5 +186,5 @@ class LocalNetwork:
     def failure_count(self) -> int:
         return self.channel.failure_count()
 
-    def world_state(self) -> StateDB:
+    def world_state(self) -> StateStore:
         return self.channel.world_state()

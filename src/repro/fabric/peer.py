@@ -42,7 +42,7 @@ from .chaincode import ChaincodeRegistry, ShimStub
 from .events import EventHub
 from .identity import Identity, MembershipRegistry
 from .ledger import Ledger
-from .statedb import StateDB
+from .store import StateStore, WriteBatch
 from .transaction import (
     EndorsementFailure,
     Proposal,
@@ -93,7 +93,10 @@ class PreparedCommit:
     """A fully validated (and, for FabricCRDT, merged) block ready to apply.
 
     Produced by :meth:`Peer.prepare_block`; applied by
-    :meth:`Peer.apply_prepared`.  The split exists for the discrete-event
+    :meth:`Peer.apply_prepared`.  ``batch`` carries the block's effective
+    writes as one :class:`~repro.fabric.store.WriteBatch`, applied
+    atomically by the state store (one SQL transaction on the persistent
+    backend).  The split exists for the discrete-event
     wrapper: validation work is computed at the *start* of the commit service
     window, the state change becomes visible at its *end* — endorsements
     sampled during the window therefore see pre-block state, exactly like a
@@ -104,6 +107,8 @@ class PreparedCommit:
     metadata: BlockMetadata
     effective_writes: tuple[tuple[int, WriteItem], ...]
     work: CommitWork
+    #: The block-scoped state mutation, applied atomically by the store.
+    batch: WriteBatch
 
 
 class Peer:
@@ -114,11 +119,12 @@ class Peer:
         identity: Identity,
         membership: MembershipRegistry,
         chaincodes: ChaincodeRegistry,
+        store: Optional[StateStore] = None,
     ) -> None:
         self.identity = identity
         self.membership = membership
         self.chaincodes = chaincodes
-        self.ledger = Ledger()
+        self.ledger = Ledger(store=store)
         self.events = EventHub(self.name)
         self.stats = Counterstats()
         self.last_commit_work: Optional[CommitWork] = None
@@ -206,10 +212,12 @@ class Peer:
                     effective.append((tx_index, write))
             metadata.mark(tx_index, code)
 
-        for _, write in effective:
+        batch = WriteBatch(block_number=block.number)
+        for tx_index, write in effective:
             work.writes_applied += 1
             work.bytes_written += len(write.value)
-        work.distinct_keys_written = len({write.key for _, write in effective})
+            batch.put(write.key, write.value, Version(block.number, tx_index), write.is_delete)
+        work.distinct_keys_written = len(batch.distinct_keys())
         work.merge_ops = int(plan.work.get("merge_ops", 0))
         work.merge_scan_steps = int(plan.work.get("merge_scan_steps", 0))
         work.merge_docs = int(plan.work.get("merge_docs", 0))
@@ -219,16 +227,14 @@ class Peer:
             metadata=metadata,
             effective_writes=tuple(effective),
             work=work,
+            batch=batch,
         )
 
     def apply_prepared(self, prepared: PreparedCommit, commit_time: float = 0.0) -> CommittedBlock:
         """Apply a prepared commit: write state, append the block, publish."""
 
         block = prepared.block
-        for tx_index, write in prepared.effective_writes:
-            self.ledger.state.apply_write(
-                write.key, write.value, Version(block.number, tx_index), write.is_delete
-            )
+        self.ledger.state.apply_batch(prepared.batch)
         committed = CommittedBlock(
             block=block,
             metadata=prepared.metadata,
@@ -340,7 +346,7 @@ class Peer:
 
     # -- queries ------------------------------------------------------------------
 
-    def world_state(self) -> StateDB:
+    def world_state(self) -> StateStore:
         return self.ledger.state
 
     def __repr__(self) -> str:

@@ -1,233 +1,25 @@
-"""The world state database: a versioned key-value store (CouchDB stand-in).
+"""Compatibility facade over :mod:`repro.fabric.store`.
 
-Every committed key carries the :class:`~repro.common.types.Version` of the
-transaction that last wrote it — the heart of Fabric's MVCC validation.  The
-store also implements the read paths chaincode uses: point reads, key-range
-scans, and a functional subset of CouchDB's Mango selector language for rich
-queries (``$eq``, ``$gt``, ``$gte``, ``$lt``, ``$lte``, ``$ne``, ``$in``,
-``$and``, ``$or``, ``$not``, ``$exists`` over dotted field paths).
+The world state database used to live here as one hard-coded in-memory
+``StateDB``.  The implementation now lives in the pluggable-backend package
+:mod:`repro.fabric.store` (``MemoryStore`` / ``SqliteStore`` behind the
+``StateStore`` interface); this module keeps the historical import surface
+working:
+
+* ``StateDB`` is the in-memory backend, unchanged in behaviour;
+* ``VersionedValue`` and ``compile_selector`` re-export the shared types
+  and the Mango selector compiler.
+
+New code should import from :mod:`repro.fabric.store` directly.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
-from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Optional
+from .store.base import VersionedValue
+from .store.memory import MemoryStore
+from .store.query import compile_selector
 
-from ..common.errors import StateError
-from ..common.serialization import from_bytes
-from ..common.types import Version
+#: The historical name of the in-memory world state.
+StateDB = MemoryStore
 
-
-@dataclass(frozen=True)
-class VersionedValue:
-    """A committed value and the version of its committing transaction."""
-
-    value: bytes
-    version: Version
-
-
-class StateDB:
-    """In-memory versioned world state."""
-
-    def __init__(self) -> None:
-        self._data: dict[str, VersionedValue] = {}
-        self._sorted_keys: list[str] = []
-
-    # -- reads -------------------------------------------------------------------
-
-    def get(self, key: str) -> Optional[VersionedValue]:
-        return self._data.get(key)
-
-    def get_value(self, key: str) -> Optional[bytes]:
-        entry = self._data.get(key)
-        return entry.value if entry is not None else None
-
-    def get_version(self, key: str) -> Optional[Version]:
-        entry = self._data.get(key)
-        return entry.version if entry is not None else None
-
-    def __contains__(self, key: str) -> bool:
-        return key in self._data
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def keys(self) -> tuple[str, ...]:
-        return tuple(self._sorted_keys)
-
-    def range_scan(self, start_key: str, end_key: str) -> Iterator[tuple[str, VersionedValue]]:
-        """Keys in ``[start_key, end_key)`` in lexicographic order.
-
-        Empty ``end_key`` means "to the end", matching the Fabric shim's
-        ``GetStateByRange`` convention.
-        """
-
-        index = bisect_left(self._sorted_keys, start_key)
-        while index < len(self._sorted_keys):
-            key = self._sorted_keys[index]
-            if end_key and key >= end_key:
-                break
-            yield key, self._data[key]
-            index += 1
-
-    # -- writes ------------------------------------------------------------------
-
-    def apply_write(self, key: str, value: bytes, version: Version, is_delete: bool = False) -> None:
-        """Commit one write.  Deletes remove the key entirely (like Fabric)."""
-
-        if is_delete:
-            if key in self._data:
-                del self._data[key]
-                index = bisect_left(self._sorted_keys, key)
-                if index < len(self._sorted_keys) and self._sorted_keys[index] == key:
-                    self._sorted_keys.pop(index)
-            return
-        if key not in self._data:
-            insort(self._sorted_keys, key)
-        self._data[key] = VersionedValue(value, version)
-
-    def apply_batch(
-        self, writes: list[tuple[str, bytes, bool]], base_version: Version
-    ) -> None:
-        """Apply a batch of ``(key, value, is_delete)`` at one version."""
-
-        for key, value, is_delete in writes:
-            self.apply_write(key, value, base_version, is_delete)
-
-    # -- rich queries -------------------------------------------------------------
-
-    def rich_query(self, selector: dict, limit: Optional[int] = None) -> list[tuple[str, bytes]]:
-        """CouchDB-Mango-style query over JSON values.
-
-        Values that are not valid JSON objects are skipped, as CouchDB would
-        not index them.  Results are key-ordered and optionally limited.
-        """
-
-        predicate = compile_selector(selector)
-        results: list[tuple[str, bytes]] = []
-        for key in self._sorted_keys:
-            entry = self._data[key]
-            try:
-                doc = from_bytes(entry.value)
-            except Exception:
-                continue
-            if not isinstance(doc, dict):
-                continue
-            if predicate(doc):
-                results.append((key, entry.value))
-                if limit is not None and len(results) >= limit:
-                    break
-        return results
-
-    def snapshot_versions(self) -> dict[str, Version]:
-        """Key -> version map (used by tests to diff states)."""
-
-        return {key: entry.version for key, entry in self._data.items()}
-
-
-# ---------------------------------------------------------------------------
-# Mango selector compilation
-# ---------------------------------------------------------------------------
-
-_MISSING = object()
-
-Predicate = Callable[[dict], bool]
-
-
-def _field_value(doc: Any, path: str) -> Any:
-    current = doc
-    for part in path.split("."):
-        if isinstance(current, dict) and part in current:
-            current = current[part]
-        else:
-            return _MISSING
-    return current
-
-
-def _comparable(a: Any, b: Any) -> bool:
-    if isinstance(a, bool) or isinstance(b, bool):
-        return isinstance(a, bool) and isinstance(b, bool)
-    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
-        return True
-    return type(a) is type(b)
-
-
-def _compare(op: str, actual: Any, expected: Any) -> bool:
-    if actual is _MISSING:
-        return False
-    if op == "$eq":
-        return actual == expected
-    if op == "$ne":
-        return actual != expected
-    if op == "$in":
-        if not isinstance(expected, list):
-            raise StateError("$in expects a list")
-        return actual in expected
-    if op == "$nin":
-        if not isinstance(expected, list):
-            raise StateError("$nin expects a list")
-        return actual not in expected
-    if not _comparable(actual, expected):
-        return False
-    if op == "$gt":
-        return actual > expected
-    if op == "$gte":
-        return actual >= expected
-    if op == "$lt":
-        return actual < expected
-    if op == "$lte":
-        return actual <= expected
-    raise StateError(f"unsupported Mango operator: {op}")
-
-
-def compile_selector(selector: dict) -> Predicate:
-    """Compile a Mango selector into a document predicate."""
-
-    if not isinstance(selector, dict):
-        raise StateError(f"selector must be an object, got {type(selector).__name__}")
-
-    clauses: list[Predicate] = []
-    for field_or_op, condition in selector.items():
-        if field_or_op == "$and":
-            if not isinstance(condition, list):
-                raise StateError("$and expects a list of selectors")
-            subs = [compile_selector(sub) for sub in condition]
-            clauses.append(lambda doc, subs=subs: all(sub(doc) for sub in subs))
-        elif field_or_op == "$or":
-            if not isinstance(condition, list):
-                raise StateError("$or expects a list of selectors")
-            subs = [compile_selector(sub) for sub in condition]
-            clauses.append(lambda doc, subs=subs: any(sub(doc) for sub in subs))
-        elif field_or_op == "$not":
-            sub = compile_selector(condition)
-            clauses.append(lambda doc, sub=sub: not sub(doc))
-        elif field_or_op.startswith("$"):
-            raise StateError(f"unsupported top-level operator: {field_or_op}")
-        else:
-            clauses.append(_compile_field(field_or_op, condition))
-
-    return lambda doc: all(clause(doc) for clause in clauses)
-
-
-def _compile_field(path: str, condition: Any) -> Predicate:
-    if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
-        ops = dict(condition)
-
-        def field_pred(doc: dict) -> bool:
-            actual = _field_value(doc, path)
-            for op, expected in ops.items():
-                if op == "$exists":
-                    present = actual is not _MISSING
-                    if present != bool(expected):
-                        return False
-                elif not _compare(op, actual, expected):
-                    return False
-            return True
-
-        return field_pred
-
-    def eq_pred(doc: dict) -> bool:
-        return _field_value(doc, path) == condition
-
-    return eq_pred
+__all__ = ["StateDB", "VersionedValue", "compile_selector"]

@@ -1,0 +1,68 @@
+"""Block-scoped write batches — the unit of state mutation at commit time.
+
+Fabric's committer never writes single keys: it assembles all effective
+writes of a validated block into one ``UpdateBatch`` and hands it to the
+state database, which applies it atomically (LevelDB write batch / CouchDB
+``_bulk_docs``).  :class:`WriteBatch` is that object here.
+
+:meth:`repro.fabric.peer.Peer.prepare_block` builds one batch per block
+(including CRDT-merged replacement values), and
+:meth:`repro.fabric.peer.Peer.apply_prepared` /
+:meth:`repro.fabric.ledger.Ledger.rebuild_state` apply it through
+:meth:`StateStore.apply_batch` — one transaction on SQLite, one loop on the
+memory backend.  Entries preserve block order; a later write to the same key
+supersedes an earlier one exactly as sequential application would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ...common.types import Version
+
+
+@dataclass(frozen=True)
+class BatchWrite:
+    """One effective write of a block: key, value bytes, committing version."""
+
+    key: str
+    value: bytes
+    version: Version
+    is_delete: bool = False
+
+
+@dataclass
+class WriteBatch:
+    """All effective writes of one block, in block order."""
+
+    block_number: int
+    writes: list[BatchWrite] = field(default_factory=list)
+
+    def put(self, key: str, value: bytes, version: Version, is_delete: bool = False) -> None:
+        self.writes.append(BatchWrite(key, value, version, is_delete))
+
+    def __len__(self) -> int:
+        return len(self.writes)
+
+    def __iter__(self) -> Iterator[BatchWrite]:
+        return iter(self.writes)
+
+    def __bool__(self) -> bool:
+        return bool(self.writes)
+
+    def distinct_keys(self) -> frozenset[str]:
+        return frozenset(write.key for write in self.writes)
+
+    def coalesced(self) -> list[BatchWrite]:
+        """Last write per key, in first-touch key order.
+
+        Sequential application of ``writes`` and application of
+        ``coalesced()`` produce the same final state; backends with
+        per-write overhead (SQLite) apply the coalesced form.
+        """
+
+        last: dict[str, BatchWrite] = {}
+        for write in self.writes:
+            last[write.key] = write
+        return list(last.values())

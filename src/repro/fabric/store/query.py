@@ -1,0 +1,124 @@
+"""Mango selector compilation — the rich-query language of every backend.
+
+A functional subset of CouchDB's Mango selector language (``$eq``, ``$gt``,
+``$gte``, ``$lt``, ``$lte``, ``$ne``, ``$in``, ``$nin``, ``$and``, ``$or``,
+``$not``, ``$exists`` over dotted field paths), compiled once into a Python
+predicate and evaluated per document.  The compiler is backend-independent:
+:class:`~repro.fabric.store.memory.MemoryStore` and
+:class:`~repro.fabric.store.sqlite.SqliteStore` both evaluate the *same*
+compiled predicate over their key-ordered document iteration, which is what
+makes rich-query results identical across backends by construction.
+
+Comparison semantics mirror CouchDB's typed collation in the small: range
+operators (``$gt`` and friends) never match across incompatible types —
+``{"a": {"$gt": 3}}`` does not match ``{"a": "x"}`` — while ``$eq``/``$ne``
+use plain equality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ...common.errors import StateError
+
+_MISSING = object()
+
+Predicate = Callable[[dict], bool]
+
+
+def _field_value(doc: Any, path: str) -> Any:
+    current = doc
+    for part in path.split("."):
+        if isinstance(current, dict) and part in current:
+            current = current[part]
+        else:
+            return _MISSING
+    return current
+
+
+def _comparable(a: Any, b: Any) -> bool:
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return True
+    return type(a) is type(b)
+
+
+def _compare(op: str, actual: Any, expected: Any) -> bool:
+    if actual is _MISSING:
+        return False
+    if op == "$eq":
+        return actual == expected
+    if op == "$ne":
+        return actual != expected
+    if op == "$in":
+        if not isinstance(expected, list):
+            raise StateError("$in expects a list")
+        return actual in expected
+    if op == "$nin":
+        if not isinstance(expected, list):
+            raise StateError("$nin expects a list")
+        return actual not in expected
+    if not _comparable(actual, expected):
+        return False
+    if op == "$gt":
+        return actual > expected
+    if op == "$gte":
+        return actual >= expected
+    if op == "$lt":
+        return actual < expected
+    if op == "$lte":
+        return actual <= expected
+    raise StateError(f"unsupported Mango operator: {op}")
+
+
+def compile_selector(selector: dict) -> Predicate:
+    """Compile a Mango selector into a document predicate."""
+
+    if not isinstance(selector, dict):
+        raise StateError(f"selector must be an object, got {type(selector).__name__}")
+
+    clauses: list[Predicate] = []
+    for field_or_op, condition in selector.items():
+        if field_or_op == "$and":
+            if not isinstance(condition, list):
+                raise StateError("$and expects a list of selectors")
+            subs = [compile_selector(sub) for sub in condition]
+            clauses.append(lambda doc, subs=subs: all(sub(doc) for sub in subs))
+        elif field_or_op == "$or":
+            if not isinstance(condition, list):
+                raise StateError("$or expects a list of selectors")
+            subs = [compile_selector(sub) for sub in condition]
+            clauses.append(lambda doc, subs=subs: any(sub(doc) for sub in subs))
+        elif field_or_op == "$not":
+            sub = compile_selector(condition)
+            clauses.append(lambda doc, sub=sub: not sub(doc))
+        elif field_or_op.startswith("$"):
+            raise StateError(f"unsupported top-level operator: {field_or_op}")
+        else:
+            clauses.append(_compile_field(field_or_op, condition))
+
+    return lambda doc: all(clause(doc) for clause in clauses)
+
+
+def _compile_field(path: str, condition: Any) -> Predicate:
+    if isinstance(condition, dict) and any(k.startswith("$") for k in condition):
+        ops = dict(condition)
+
+        def field_pred(doc: dict) -> bool:
+            actual = _field_value(doc, path)
+            for op, expected in ops.items():
+                if op == "$exists":
+                    present = actual is not _MISSING
+                    if present != bool(expected):
+                        return False
+                elif not _compare(op, actual, expected):
+                    return False
+            return True
+
+        return field_pred
+
+    def eq_pred(doc: dict) -> bool:
+        return _field_value(doc, path) == condition
+
+    return eq_pred

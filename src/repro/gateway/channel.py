@@ -14,6 +14,8 @@ answers questions about it (statuses, world state, convergence).
 
 from __future__ import annotations
 
+import inspect
+import os
 from typing import Callable, Optional
 
 from ..common.config import NetworkConfig
@@ -23,16 +25,29 @@ from ..fabric.block import CommittedBlock
 from ..fabric.chaincode import ChaincodeRegistry, DeployableChaincode
 from ..fabric.client import Client
 from ..fabric.events import statuses_from_block
-from ..fabric.identity import MembershipRegistry
+from ..fabric.identity import Identity, MembershipRegistry
 from ..fabric.ledger import Ledger
 from ..fabric.peer import Peer
 from ..fabric.policy import EndorsementPolicy, or_policy
-from ..fabric.statedb import StateDB
+from ..fabric.store import StateStore, create_store
 
 PeerFactory = Callable[..., Peer]
 
 #: Clients enrolled per channel (the paper's Caliper setup uses four).
 NUM_CLIENTS = 4
+
+
+def _accepts_store(factory: PeerFactory) -> bool:
+    """Whether a peer factory takes the ``store`` keyword argument."""
+
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # builtins / C callables: assume modern
+        return True
+    return "store" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
 
 
 class Channel:
@@ -54,9 +69,7 @@ class Channel:
         for org_name in topology.org_names:
             for peer_index in range(topology.peers_per_org):
                 identity = self.membership.enroll(org_name, f"peer{peer_index}")
-                self.peers.append(
-                    self.peer_factory(identity, self.membership, self.chaincodes)
-                )
+                self.peers.append(self._build_peer(identity))
 
         self.clients = [
             Client(
@@ -78,6 +91,53 @@ class Channel:
         self._deliver_session = DeliverService(self.anchor_peer).deliver(
             self._on_commit, start_block=0
         )
+
+    # -- peer construction -------------------------------------------------------
+
+    def _create_peer_store(self, identity: Identity) -> Optional[StateStore]:
+        """The configured state backend for one peer (``None`` = default).
+
+        The memory backend returns ``None`` so legacy factories run through
+        the exact historical construction path; sqlite peers get one
+        database each — file-backed under ``state_dir``, private in-memory
+        otherwise.
+        """
+
+        if self.config.state_backend == "memory":
+            return None
+        path = None
+        if self.config.state_dir is not None:
+            os.makedirs(self.config.state_dir, exist_ok=True)
+            path = os.path.join(
+                self.config.state_dir, f"{identity.qualified_name}.sqlite"
+            )
+        store = create_store(self.config.state_backend, path)
+        if len(store):
+            # A fresh channel starts at genesis; silently pairing a prior
+            # run's world state with an empty ledger would corrupt every
+            # read (and stay invisible to the divergence check, since all
+            # peers would be equally stale).
+            store.close()
+            raise FabricError(
+                f"state database {path!r} already holds {identity.qualified_name}'s "
+                "state from a previous run; remove it or point state_dir at a "
+                "fresh directory (reopen old state with SqliteStore(path) directly)"
+            )
+        return store
+
+    def _build_peer(self, identity: Identity) -> Peer:
+        store = self._create_peer_store(identity)
+        if store is None:
+            return self.peer_factory(identity, self.membership, self.chaincodes)
+        if _accepts_store(self.peer_factory):
+            return self.peer_factory(
+                identity, self.membership, self.chaincodes, store=store
+            )
+        # Factory predates the store parameter: build it, then swap the
+        # (still empty, pre-genesis) store for the configured backend.
+        peer = self.peer_factory(identity, self.membership, self.chaincodes)
+        peer.ledger.reset_store(store)
+        return peer
 
     # -- topology accessors ------------------------------------------------------
 
@@ -155,20 +215,22 @@ class Channel:
     def ledger_of(self, peer_index: int = 0) -> Ledger:
         return self.peers[peer_index].ledger
 
-    def world_state(self) -> StateDB:
+    def world_state(self) -> StateStore:
         return self.anchor_peer.ledger.state
 
     def world_states_converged(self) -> bool:
-        """True if every peer holds an identical world state."""
+        """True if every peer holds an identical world state.
 
-        reference = self.anchor_peer.ledger.state.snapshot_versions()
-        for peer in self.peers[1:]:
-            if peer.ledger.state.snapshot_versions() != reference:
-                return False
-            for key in reference:
-                if peer.ledger.state.get_value(key) != self.anchor_peer.ledger.state.get_value(key):
-                    return False
-        return True
+        Compares the stores' incremental content fingerprints — a pure
+        function of each store's full ``(key, version, value)`` content —
+        so the check is O(peers), not O(peers × keys) dictionary
+        materialization per call.
+        """
+
+        reference = self.anchor_peer.ledger.state.fingerprint()
+        return all(
+            peer.ledger.state.fingerprint() == reference for peer in self.peers[1:]
+        )
 
     def assert_states_converged(self) -> None:
         if not self.world_states_converged():

@@ -33,7 +33,7 @@ from .iot import (
     nested_payload,
     reading_payload,
 )
-from .metrics import BenchmarkResult, MetricsCollector
+from .metrics import BenchmarkResult, MetricsCollector, Trim
 from .report import format_figure, format_result_details
 from .smallbank import SmallBankChaincode, total_money
 from .trace import (
@@ -91,6 +91,7 @@ __all__ = [
     "initial_device_state",
     "BenchmarkResult",
     "MetricsCollector",
+    "Trim",
     "run_workload",
     "run_pair",
     "build_network",

@@ -19,6 +19,42 @@ from ..sim.engine import Environment
 from ..sim.events import Event
 
 
+@dataclass(frozen=True)
+class Trim:
+    """Caliper-style warm-up/cool-down trimming of a round's metric window.
+
+    ``Round(trim=Trim(warmup_seconds=5, cooldown_seconds=5))`` reports
+    throughput/latency over the steady-state window only: the first
+    ``warmup_seconds`` after the round's first submission and the last
+    ``cooldown_seconds`` before its last commit are excluded.  A
+    transaction counts toward the trimmed metrics when it *resolved*
+    (committed, or failed endorsement) inside the window — the same rule
+    Caliper's ``trim`` applies to completed transactions.
+    """
+
+    warmup_seconds: float = 0.0
+    cooldown_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.warmup_seconds < 0 or self.cooldown_seconds < 0:
+            raise ValueError("trim windows cannot be negative")
+
+    def __bool__(self) -> bool:
+        return self.warmup_seconds > 0 or self.cooldown_seconds > 0
+
+    def window(self, start: float, end: float) -> tuple[float, float]:
+        """The reporting window ``[start + warmup, end - cooldown]``."""
+
+        window_start = start + self.warmup_seconds
+        window_end = end - self.cooldown_seconds
+        if window_end <= window_start:
+            raise ValueError(
+                f"trim ({self.warmup_seconds}s + {self.cooldown_seconds}s) "
+                f"leaves no reporting window inside [{start:g}s, {end:g}s]"
+            )
+        return window_start, window_end
+
+
 @dataclass
 class BenchmarkResult:
     """Summary of one workload run on one system configuration."""
@@ -37,6 +73,9 @@ class BenchmarkResult:
     merge_scan_steps: int = 0
     endorsement_failures: int = 0
     max_latency_s: float = 0.0
+    #: Trim window applied to this result (0/0 = untrimmed full run).
+    trim_warmup_s: float = 0.0
+    trim_cooldown_s: float = 0.0
 
     def row(self) -> dict:
         """The figure-shaped row: throughput / latency / success count."""
@@ -134,19 +173,46 @@ class MetricsCollector:
 
     # -- summary -------------------------------------------------------------------
 
-    def result(self, label: str, merge_work: Optional[dict] = None) -> BenchmarkResult:
-        succeeded = [s for s in self.statuses.values() if s.succeeded]
-        failed = [s for s in self.statuses.values() if not s.succeeded]
-        latencies = [s.latency for s in succeeded if s.latency is not None]
+    def result(
+        self,
+        label: str,
+        merge_work: Optional[dict] = None,
+        trim: Optional[Trim] = None,
+    ) -> BenchmarkResult:
+        statuses = list(self.statuses.values())
         start = self.first_submit_time if self.first_submit_time is not None else 0.0
-        duration = max(self.last_commit_time - start, 1e-9)
+        warmup_s = cooldown_s = 0.0
+        endorsement_failures = self.endorsement_failures
+        if trim is not None and trim:
+            window_start, window_end = trim.window(start, self.last_commit_time)
+            statuses = [
+                s
+                for s in statuses
+                if s.commit_time is not None
+                and window_start <= s.commit_time <= window_end
+            ]
+            duration = window_end - window_start
+            warmup_s, cooldown_s = trim.warmup_seconds, trim.cooldown_seconds
+            # Keep the counter consistent with the windowed statuses
+            # (flow-level endorsement failures carry no submit_time).
+            endorsement_failures = sum(
+                1
+                for s in statuses
+                if s.submit_time is None
+                and s.code is ValidationCode.ENDORSEMENT_POLICY_FAILURE
+            )
+        else:
+            duration = max(self.last_commit_time - start, 1e-9)
+        succeeded = [s for s in statuses if s.succeeded]
+        failed = [s for s in statuses if not s.succeeded]
+        latencies = [s.latency for s in succeeded if s.latency is not None]
         failure_codes: dict[str, int] = {}
         for status in failed:
             failure_codes[status.code.name] = failure_codes.get(status.code.name, 0) + 1
         merge_work = merge_work or {}
         return BenchmarkResult(
             label=label,
-            total_submitted=len(self.statuses),
+            total_submitted=len(statuses),
             successful=len(succeeded),
             failed=len(failed),
             duration_s=duration,
@@ -160,5 +226,7 @@ class MetricsCollector:
             else 0.0,
             merge_ops=int(merge_work.get("merge_ops", 0)),
             merge_scan_steps=int(merge_work.get("merge_scan_steps", 0)),
-            endorsement_failures=self.endorsement_failures,
+            endorsement_failures=endorsement_failures,
+            trim_warmup_s=warmup_s,
+            trim_cooldown_s=cooldown_s,
         )

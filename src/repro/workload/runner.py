@@ -47,7 +47,7 @@ from ..sim.engine import Environment
 from .clients import ClientStrategy, ClosedLoopClient, OpenLoopClient, RoundContext
 from .generator import generate_plan, keys_to_populate
 from .iot import IOT_CHAINCODE_NAME, IoTChaincode
-from .metrics import BenchmarkResult, MetricsCollector
+from .metrics import BenchmarkResult, MetricsCollector, Trim
 from .rate import FixedRate, RateController
 from .spec import WorkloadSpec
 
@@ -90,6 +90,9 @@ class Round:
     controller (open-loop fire-and-forget, or the event-driven closed loop
     for :class:`~repro.workload.rate.MaxRate`).  ``ordering_cls`` swaps the
     ordering service implementation (used by the reordering ablation).
+    ``trim`` excludes the round's warm-up/cool-down edges from the reported
+    metrics (Caliper's ``trim`` option) — the run itself is unchanged, only
+    the reporting window shrinks.
     """
 
     spec: WorkloadSpec
@@ -98,6 +101,7 @@ class Round:
     client: Optional[ClientStrategy] = None
     label: Optional[str] = None
     ordering_cls: Optional[type[OrderingService]] = None
+    trim: Optional[Trim] = None
 
     def resolved_rate(self) -> RateController:
         return self.rate if self.rate is not None else FixedRate(self.spec.rate_tps)
@@ -197,7 +201,7 @@ def run_round(
         "merge_ops": network.anchor_peer.stats.get("merge_ops_total"),
         "merge_scan_steps": network.anchor_peer.stats.get("merge_scan_steps_total"),
     }
-    return collector.result(round_.resolved_label(), merge_work)
+    return collector.result(round_.resolved_label(), merge_work, trim=round_.trim)
 
 
 class Benchmark:

@@ -1,0 +1,70 @@
+"""The channel's fingerprint-based state-divergence check.
+
+``world_states_converged`` used to materialize every peer's full
+``snapshot_versions()`` dict per comparison (O(peers × keys) per call); it
+now compares the stores' incremental content fingerprints.  These tests pin
+the property that matters: an injected divergent write — value, version, or
+extra/missing key — is still detected, on both backends.
+"""
+
+import json
+
+import pytest
+
+from repro.common.config import fabriccrdt_config
+from repro.common.errors import FabricError
+from repro.common.serialization import to_bytes
+from repro.common.types import Version
+from repro.core.network import crdt_network
+from repro.gateway import Gateway
+from repro.workload.iot import IOT_CHAINCODE_NAME, IoTChaincode
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def network(request):
+    config = fabriccrdt_config(400, state_backend=request.param)
+    built = crdt_network(config)
+    built.deploy(IoTChaincode())
+    contract = Gateway.connect(built).get_contract(IOT_CHAINCODE_NAME)
+    contract.submit_async("populate", json.dumps({"keys": ["device-1", "device-2"]}))
+    built.flush()
+    return built
+
+
+class TestDivergenceDetection:
+    def test_converged_after_identical_commits(self, network):
+        assert network.world_states_converged()
+        network.assert_states_converged()
+
+    def test_divergent_value_detected(self, network):
+        straggler = network.peers[-1]
+        version = straggler.ledger.state.get_version("device-1")
+        straggler.ledger.state.apply_write("device-1", to_bytes({"evil": True}), version)
+        assert not network.world_states_converged()
+        with pytest.raises(FabricError):
+            network.assert_states_converged()
+
+    def test_divergent_version_detected(self, network):
+        straggler = network.peers[-1]
+        value = straggler.ledger.state.get_value("device-1")
+        straggler.ledger.state.apply_write("device-1", value, Version(99, 0))
+        assert not network.world_states_converged()
+
+    def test_extra_key_detected(self, network):
+        straggler = network.peers[-1]
+        straggler.ledger.state.apply_write("ghost", to_bytes({}), Version(1, 0))
+        assert not network.world_states_converged()
+
+    def test_missing_key_detected(self, network):
+        straggler = network.peers[-1]
+        straggler.ledger.state.apply_write("device-2", b"", Version(1, 0), is_delete=True)
+        assert not network.world_states_converged()
+
+    def test_check_does_not_materialize_snapshots(self, network, monkeypatch):
+        for peer in network.peers:
+
+            def boom(*args, **kwargs):  # pragma: no cover - must never run
+                raise AssertionError("divergence check materialized a snapshot")
+
+            monkeypatch.setattr(peer.ledger.state, "snapshot_versions", boom)
+        assert network.world_states_converged()

@@ -1,0 +1,127 @@
+"""Warm-up/cool-down trimming: trimmed metrics == hand-filtered recomputation."""
+
+import pytest
+
+from repro.common.config import fabriccrdt_config
+from repro.common.types import ValidationCode
+from repro.fabric.costmodel import zero_latency_model
+from repro.sim import Environment
+from repro.workload.metrics import MetricsCollector, Trim
+from repro.workload.runner import Round, run_round
+from repro.workload.spec import table1_spec
+
+from .test_metrics import committed, make_tx
+
+
+def collector_with_spread_commits():
+    """Ten transactions committing one per second from t=1 to t=10."""
+
+    env = Environment()
+    collector = MetricsCollector(env, expected=10)
+    for index in range(10):
+        tx = make_tx(index, submit_time=float(index) * 0.5)
+        code = (
+            ValidationCode.VALID if index % 3 != 2 else ValidationCode.MVCC_READ_CONFLICT
+        )
+        collector.on_block(committed(index, [tx], [code], float(index + 1)), "peer")
+    return collector
+
+
+class TestTrimValidation:
+    def test_negative_windows_rejected(self):
+        with pytest.raises(ValueError):
+            Trim(warmup_seconds=-1)
+        with pytest.raises(ValueError):
+            Trim(cooldown_seconds=-0.5)
+
+    def test_empty_window_rejected(self):
+        collector = collector_with_spread_commits()
+        with pytest.raises(ValueError, match="no reporting window"):
+            collector.result("label", trim=Trim(warmup_seconds=6, cooldown_seconds=6))
+
+    def test_zero_trim_is_falsy_and_byte_identical(self):
+        collector = collector_with_spread_commits()
+        assert not Trim()
+        assert collector.result("label") == collector.result("label", trim=Trim())
+
+
+class TestTrimmedRecomputation:
+    def test_matches_hand_filtered_statuses(self):
+        collector = collector_with_spread_commits()
+        trim = Trim(warmup_seconds=2.0, cooldown_seconds=3.0)
+        result = collector.result("label", trim=trim)
+
+        # Hand-filter: first submit at t=0, last commit at t=10, so the
+        # reporting window is [2, 7]; a status counts when it resolved
+        # (commit_time) inside the window.
+        window_start, window_end = 0.0 + 2.0, 10.0 - 3.0
+        in_window = [
+            s
+            for s in collector.statuses.values()
+            if window_start <= s.commit_time <= window_end
+        ]
+        succeeded = [s for s in in_window if s.succeeded]
+        latencies = [s.commit_time - s.submit_time for s in succeeded]
+
+        assert result.total_submitted == len(in_window)
+        assert result.successful == len(succeeded)
+        assert result.failed == len(in_window) - len(succeeded)
+        assert result.duration_s == pytest.approx(window_end - window_start)
+        assert result.throughput_tps == pytest.approx(
+            len(succeeded) / (window_end - window_start)
+        )
+        assert result.avg_latency_s == pytest.approx(sum(latencies) / len(latencies))
+        assert result.max_latency_s == pytest.approx(max(latencies))
+        assert result.trim_warmup_s == 2.0
+        assert result.trim_cooldown_s == 3.0
+
+    def test_untrimmed_keeps_historical_shape(self):
+        collector = collector_with_spread_commits()
+        result = collector.result("label")
+        assert result.total_submitted == 10
+        assert result.duration_s == pytest.approx(10.0)
+        assert result.trim_warmup_s == 0.0
+        assert result.trim_cooldown_s == 0.0
+
+
+class TestTrimmedEndorsementFailures:
+    def test_counter_windows_with_the_statuses(self):
+        env = Environment()
+        collector = MetricsCollector(env, expected=11)
+        collector.on_endorsement_failure("failed-early", now=0.5)
+        for index in range(10):
+            tx = make_tx(index, submit_time=float(index) * 0.5)
+            collector.on_block(
+                committed(index, [tx], [ValidationCode.VALID], float(index + 1)), "peer"
+            )
+        untrimmed = collector.result("label")
+        assert untrimmed.endorsement_failures == 1
+        # The failure resolved at t=0.5, inside the 2s warm-up: the trimmed
+        # result must not report it (failed=0 and endorsement_failures=0
+        # stay consistent).
+        trimmed = collector.result("label", trim=Trim(warmup_seconds=2.0))
+        assert trimmed.failed == 0
+        assert trimmed.endorsement_failures == 0
+        assert trimmed.failure_codes == {}
+
+
+class TestTrimmedRound:
+    def test_round_trim_shrinks_reporting_window(self):
+        spec = table1_spec(total_transactions=60, seed=7)
+        config = fabriccrdt_config(25, seed=0)
+        cost = zero_latency_model()
+        full = run_round(Round(spec, config), cost=cost)
+        trim = Trim(warmup_seconds=0.05, cooldown_seconds=0.05)
+        trimmed = run_round(Round(spec, config, trim=trim), cost=cost)
+        # Identical deterministic run, so the trimmed window is exactly the
+        # full window minus the warm-up and cool-down edges.
+        assert trimmed.duration_s == pytest.approx(full.duration_s - 0.1)
+        # Same virtual experiment, smaller reporting window: the trimmed
+        # result must be internally consistent and no larger than the full
+        # run.
+        assert trimmed.total_submitted <= full.total_submitted
+        assert trimmed.successful <= full.successful
+        assert trimmed.throughput_tps == pytest.approx(
+            trimmed.successful / trimmed.duration_s
+        )
+        assert trimmed.trim_warmup_s == 0.05
