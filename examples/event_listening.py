@@ -39,7 +39,13 @@ def cast_votes(contract, votes):
 def main() -> None:
     network = crdt_network(fabriccrdt_config(max_message_count=4))
     network.deploy(VotingChaincode())
-    gateway = Gateway.connect(network)
+    # The gateway is a context manager: closing it releases the transport
+    # and channel (deliver session, peer state stores) deterministically.
+    with Gateway.connect(network) as gateway:
+        run_demo(gateway)
+
+
+def run_demo(gateway) -> None:
     contract = gateway.get_contract("voting")
 
     # -- 1. live callback stream -------------------------------------------------

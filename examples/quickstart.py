@@ -49,20 +49,22 @@ def show(network, statuses, title):
 
 
 def main() -> None:
-    fabric = vanilla_network(fabric_config(max_message_count=400))
-    fabric.deploy(IoTChaincode())
-    contract = Gateway.connect(fabric).get_contract("iot")
-    statuses = submit_conflicting_batch(contract, crdt=False)
-    show(fabric, statuses, "vanilla Fabric (MVCC validation)")
+    # Networks are context managers: peer state stores and the commit
+    # deliver session are released deterministically on exit.
+    with vanilla_network(fabric_config(max_message_count=400)) as fabric:
+        fabric.deploy(IoTChaincode())
+        contract = Gateway.connect(fabric).get_contract("iot")
+        statuses = submit_conflicting_batch(contract, crdt=False)
+        show(fabric, statuses, "vanilla Fabric (MVCC validation)")
 
-    fabriccrdt = crdt_network(fabriccrdt_config(max_message_count=25))
-    fabriccrdt.deploy(IoTChaincode())
-    contract = Gateway.connect(fabriccrdt).get_contract("iot")
-    statuses = submit_conflicting_batch(contract, crdt=True)
-    show(fabriccrdt, statuses, "FabricCRDT (CRDT merge)")
+    with crdt_network(fabriccrdt_config(max_message_count=25)) as fabriccrdt:
+        fabriccrdt.deploy(IoTChaincode())
+        contract = Gateway.connect(fabriccrdt).get_contract("iot")
+        statuses = submit_conflicting_batch(contract, crdt=True)
+        show(fabriccrdt, statuses, "FabricCRDT (CRDT merge)")
 
-    fabriccrdt.assert_states_converged()
-    print("all FabricCRDT peers hold byte-identical world states ✔")
+        fabriccrdt.assert_states_converged()
+        print("all FabricCRDT peers hold byte-identical world states ✔")
     print("next: regenerate the paper's figures with  python -m repro.bench fig3")
 
 

@@ -91,6 +91,41 @@ def _run_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_socket_smoke(args: argparse.Namespace) -> int:
+    """Distributed-runtime smoke: multi-process cluster vs in-process run.
+
+    Spawns the orderer and peers as separate OS processes, drives the
+    seeded workload over the socket transport, and asserts that every
+    remote peer's committed state fingerprint equals the in-process
+    :class:`LocalNetwork` run of the same workload.
+    """
+
+    from ..net.smoke import run_parity_smoke
+
+    started = time.time()
+    report = run_parity_smoke(
+        state_backend=args.state_backend,
+        transactions=min(args.transactions, 300),
+        seed=args.seed if args.seed else 7,
+    )
+    print(report.format())
+    print(f"[socket smoke: {time.time() - started:.1f}s wall clock, "
+          f"{args.state_backend} state backend]")
+    if args.json:
+        payload = {
+            "backend": report.backend,
+            "passed": report.passed,
+            "problems": report.problems,
+            "local_fingerprints": report.local.fingerprints,
+            "remote_fingerprints": report.remote.fingerprints,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"parity report written to {args.json}")
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -119,6 +154,14 @@ def main(argv: list[str] | None = None) -> int:
         default="memory",
         help="world-state store backend (deterministic metrics are identical)",
     )
+    parser.add_argument(
+        "--transport",
+        choices=["des", "socket"],
+        default="des",
+        help="(smoke) des: in-process discrete-event pipeline; socket: run the "
+        "workload against a real multi-process cluster and assert state "
+        "fingerprint parity with an in-process run",
+    )
     parser.add_argument("--json", metavar="PATH", help="also dump rows as JSON")
     parser.add_argument(
         "--golden",
@@ -135,6 +178,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.target == "calibration":
         print(json.dumps(calibration_report(), indent=2))
         return 0
+
+    if args.transport == "socket":
+        if args.target != "smoke":
+            parser.error("--transport socket only applies to the smoke target")
+        return _run_socket_smoke(args)
 
     if args.target == "smoke":
         return _run_smoke(args)

@@ -188,3 +188,16 @@ class LocalNetwork:
 
     def world_state(self) -> StateStore:
         return self.channel.world_state()
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the network's resources (deliver session, peer stores)."""
+
+        self.transport.close()
+
+    def __enter__(self) -> "LocalNetwork":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

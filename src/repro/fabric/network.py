@@ -171,3 +171,16 @@ class SimulatedNetwork:
         )
         result = yield from self.transport.flow(client, proposal, on_endorsement_failure)
         return result
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the network's resources (deliver session, peer stores)."""
+
+        self.transport.close()
+
+    def __enter__(self) -> "SimulatedNetwork":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -235,3 +235,20 @@ class Channel:
     def assert_states_converged(self) -> None:
         if not self.world_states_converged():
             raise FabricError("peer world states diverged")
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release channel resources: the deliver session and peer stores.
+
+        Idempotent.  Closing matters most for file-backed state stores
+        (sqlite connections) and for the commit-tracking deliver session,
+        which holds a live event-hub subscription on the anchor peer.
+        """
+
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        self._deliver_session.close()
+        for peer in self.peers:
+            peer.ledger.state.close()

@@ -133,6 +133,22 @@ class Gateway:
             overflow=overflow,
         )
 
+    def close(self) -> None:
+        """Disconnect: release the transport (and with it the channel).
+
+        Idempotent.  On the socket transport this tears down every
+        connection and deliver stream; on in-process transports it closes
+        the deliver session and the peers' state stores.
+        """
+
+        self.transport.close()
+
+    def __enter__(self) -> "Gateway":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return (
             f"Gateway(channel={self.channel.name!r}, "

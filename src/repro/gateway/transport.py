@@ -216,6 +216,24 @@ class Transport(ABC):
     def wait_for(self, tx: SubmittedTransaction) -> TxStatus:
         """Drive the transport until ``tx`` resolves; return its status."""
 
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release transport resources (and the channel's).  Idempotent.
+
+        In-process transports only own their channel; transports with real
+        I/O (sockets, child processes) override this and release those
+        first.
+        """
+
+        self.channel.close()
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 class SyncTransport(Transport):
     """Inline transport: the full lifecycle runs during the call.

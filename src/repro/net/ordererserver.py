@@ -1,0 +1,213 @@
+"""The ordering-service process: an asyncio server around ``OrderingService``.
+
+The ordering logic is reused unchanged — this module only moves messages.
+One process serves one channel:
+
+* ``broadcast`` appends an envelope to the total order (Fabric's
+  ``Broadcast`` RPC); any blocks the submission cuts are fanned out to
+  every open deliver stream.
+* ``deliver`` turns the connection into a block stream (Fabric's
+  ``Deliver`` RPC): cut blocks are replayed from ``start_block``, then the
+  stream stays live.  Peers follow this stream from block 0 and commit
+  each block themselves — the orderer never validates.
+* ``flush`` force-cuts the pending batch (the in-process transports'
+  ``flush`` made remote), and a background task enforces
+  ``batch_timeout_s`` against the wall clock, exactly the third of
+  Fabric's three cut triggers.
+
+Block ``cut_time`` is wall-clock seconds since the process started, so
+cut provenance stays inspectable without making block *content* depend on
+absolute time (block hashes never cover cut_time).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from typing import Optional
+
+from ..fabric.block import Block
+from ..fabric.orderer import OrderingService
+from .codec import FrameError, read_message, write_message
+from .errors import ConnectionClosed
+from .profile import config_from_dict
+from .wire import WireError, dec_envelope, enc_block, error_message, message_type
+
+#: How often the batch-timeout watchdog checks the deadline.
+TIMEOUT_TICK_S = 0.05
+
+
+class OrdererState:
+    """The server's mutable state: the ordering service plus fan-out."""
+
+    def __init__(self, service: OrderingService) -> None:
+        self.service = service
+        self.started = time.monotonic()
+        #: Every block ever cut, for deliver replay.
+        self.blocks: list[Block] = []
+        #: Live deliver subscribers (queues of block numbers to send).
+        self.subscribers: list[asyncio.Queue] = []
+
+    def now(self) -> float:
+        return time.monotonic() - self.started
+
+    def publish(self, blocks: list[Block]) -> None:
+        for block in blocks:
+            self.blocks.append(block)
+            for queue in list(self.subscribers):
+                queue.put_nowait(block.number)
+
+
+async def _handle_deliver(
+    state: OrdererState, writer: asyncio.StreamWriter, start_block: int
+) -> None:
+    """Serve one deliver stream: replay, then live fan-out.
+
+    The subscriber queue is registered *before* replay so no block cut
+    mid-replay can be missed; the cursor guard drops queue entries the
+    replay already covered.
+    """
+
+    queue: asyncio.Queue = asyncio.Queue()
+    state.subscribers.append(queue)
+    cursor = start_block
+    try:
+        while cursor < len(state.blocks):
+            await write_message(
+                writer, {"type": "raw_block", "block": enc_block(state.blocks[cursor])}
+            )
+            cursor += 1
+        while True:
+            number = await queue.get()
+            if number < cursor:
+                continue  # replay already delivered it
+            while cursor <= number:
+                await write_message(
+                    writer,
+                    {"type": "raw_block", "block": enc_block(state.blocks[cursor])},
+                )
+                cursor += 1
+    finally:
+        state.subscribers.remove(queue)
+
+
+async def _handle_connection(
+    state: OrdererState, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        while True:
+            try:
+                message = await read_message(reader)
+                kind = message_type(message)
+            except ConnectionClosed:
+                return
+            except (FrameError, WireError) as exc:
+                # A bad frame poisons only this connection; report and drop.
+                try:
+                    await write_message(writer, error_message(str(exc)))
+                except (ConnectionError, OSError):
+                    pass
+                return
+
+            if kind == "ping":
+                await write_message(
+                    writer,
+                    {
+                        "type": "pong",
+                        "node": "orderer",
+                        "next_block": state.service.next_block_number,
+                    },
+                )
+            elif kind == "broadcast":
+                try:
+                    envelope = dec_envelope(message.get("envelope"))
+                except WireError as exc:
+                    await write_message(writer, error_message(str(exc)))
+                    continue
+                cut = state.service.submit(envelope, now=state.now())
+                state.publish(cut)
+                await write_message(
+                    writer,
+                    {
+                        "type": "broadcast_ack",
+                        "tx_id": envelope.tx_id,
+                        "blocks_cut": len(cut),
+                        "pending": state.service.pending_count,
+                    },
+                )
+            elif kind == "flush":
+                block = state.service.flush(now=state.now())
+                if block is not None:
+                    state.publish([block])
+                await write_message(
+                    writer,
+                    {
+                        "type": "flush_ack",
+                        "blocks_cut": 0 if block is None else 1,
+                        "next_block": state.service.next_block_number,
+                    },
+                )
+            elif kind == "deliver":
+                start = message.get("start_block", 0)
+                if not isinstance(start, int) or start < 0:
+                    await write_message(
+                        writer, error_message(f"bad deliver start_block {start!r}")
+                    )
+                    return
+                await _handle_deliver(state, writer, start)
+                return
+            else:
+                await write_message(
+                    writer, error_message(f"orderer cannot handle {kind!r}")
+                )
+    except (ConnectionError, OSError, asyncio.CancelledError):
+        return
+    finally:
+        writer.close()
+
+
+async def _timeout_watchdog(state: OrdererState) -> None:
+    """Enforce ``batch_timeout_s``: Fabric's third cut trigger, wall-clock."""
+
+    while True:
+        await asyncio.sleep(TIMEOUT_TICK_S)
+        deadline = state.service.timeout_deadline()
+        if deadline is not None and state.now() >= deadline:
+            block = state.service.cut_on_timeout(state.now(), state.service.batch_epoch)
+            if block is not None:
+                state.publish([block])
+
+
+async def _serve(state: OrdererState, port_conn) -> None:
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(state, r, w), "127.0.0.1", 0
+    )
+    port = server.sockets[0].getsockname()[1]
+    port_conn.send(port)
+    port_conn.close()
+
+    watchdog = asyncio.create_task(_timeout_watchdog(state))
+    try:
+        async with server:
+            await stop.wait()
+    finally:
+        watchdog.cancel()
+
+
+def orderer_process_main(config_dict: dict, port_conn) -> None:
+    """Entry point of the spawned orderer process.
+
+    ``config_dict`` is the serialized :class:`~repro.common.config.
+    NetworkConfig`; the actual bound port is reported back through
+    ``port_conn`` (a ``multiprocessing`` pipe end).
+    """
+
+    config = config_from_dict(config_dict)
+    state = OrdererState(OrderingService(config.orderer))
+    asyncio.run(_serve(state, port_conn))

@@ -1,0 +1,284 @@
+"""The peer process: an asyncio server around the existing ``Peer``.
+
+All protocol logic is reused unchanged — endorsement, VSCC/MVCC
+validation, the CRDT block merge (when the config enables it), and the
+block-scoped ``WriteBatch`` commit path on either state backend.  This
+module contributes only the deployment shell:
+
+* an asyncio TCP server answering ``endorse`` / ``ledger_info`` / ``ping``
+  requests and serving ``deliver`` streams of committed blocks;
+* a follower task that subscribes to the orderer's deliver stream from
+  block 0 and runs ``validate_and_commit`` on each block — the peer's
+  committer, fed over a socket instead of a method call.
+
+Everything runs on one event loop, so commits and endorsements interleave
+atomically exactly as they do on the in-process networks: an endorsement
+observes either all of a block's writes or none.
+
+Identities are rebuilt deterministically from the topology (see
+:mod:`repro.net.profile`), so endorsement signatures produced here verify
+on clients and other peers without any key exchange.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from typing import Optional
+
+from ..core.network import crdt_peer_factory
+from ..fabric.peer import Peer
+from ..fabric.store import StateStore, create_store
+from ..fabric.transaction import ProposalResponse
+from ..gateway.channel import NUM_CLIENTS
+from .codec import FrameError, read_message, write_message
+from .errors import ConnectionClosed, PeerUnreachableError
+from .profile import ClusterProfile, build_chaincode_registry, build_membership
+from .wire import (
+    WireError,
+    dec_block,
+    dec_proposal,
+    enc_committed_block,
+    enc_endorsement_failure,
+    enc_proposal_response,
+    error_message,
+    message_type,
+)
+
+#: How long the follower keeps retrying the orderer before giving up.
+ORDERER_CONNECT_TIMEOUT_S = 30.0
+
+
+def build_peer(profile: ClusterProfile, qualified_name: str) -> Peer:
+    """Construct this process's peer exactly as the in-process channel would.
+
+    Same membership enrollment order, same chaincode deployment, same
+    state-backend selection (``memory``, or one sqlite database per peer
+    under ``state_dir`` — private in-memory sqlite when no directory is
+    configured).  That sameness is what makes per-peer state fingerprints
+    comparable against a :class:`~repro.fabric.localnet.LocalNetwork` run.
+    """
+
+    config = profile.config
+    membership = build_membership(config.topology, NUM_CLIENTS)
+    chaincodes, _ = build_chaincode_registry(profile.chaincodes)
+    identity = membership.identity(qualified_name)
+
+    store: Optional[StateStore] = None
+    if config.state_backend != "memory":
+        path = None
+        if config.state_dir is not None:
+            import os
+
+            os.makedirs(config.state_dir, exist_ok=True)
+            path = os.path.join(config.state_dir, f"{qualified_name}.sqlite")
+        store = create_store(config.state_backend, path)
+
+    if config.crdt_enabled:
+        factory = crdt_peer_factory(config.crdt)
+        return factory(identity, membership, chaincodes, store=store)
+    return Peer(identity, membership, chaincodes, store=store)
+
+
+class PeerState:
+    """The server's handle on its peer plus the process clock."""
+
+    def __init__(self, peer: Peer) -> None:
+        self.peer = peer
+        self.started = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self.started
+
+
+async def _follow_orderer(state: PeerState, host: str, port: int) -> None:
+    """Subscribe to the orderer's block stream and commit every block.
+
+    Reconnects (resuming from the current ledger height) if the stream
+    drops; gives up only if the orderer stays unreachable past the
+    connection deadline, which terminates the process — a peer that cannot
+    reach ordering is not serving anything useful.
+    """
+
+    deadline = time.monotonic() + ORDERER_CONNECT_TIMEOUT_S
+    while True:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError):
+            if time.monotonic() >= deadline:
+                raise PeerUnreachableError(
+                    f"orderer at {host}:{port} unreachable for "
+                    f"{ORDERER_CONNECT_TIMEOUT_S:g}s"
+                )
+            await asyncio.sleep(0.05)
+            continue
+        deadline = time.monotonic() + ORDERER_CONNECT_TIMEOUT_S
+        try:
+            await write_message(
+                writer,
+                {"type": "deliver", "start_block": state.peer.ledger.height},
+            )
+            while True:
+                message = await read_message(reader)
+                if message_type(message) != "raw_block":
+                    raise WireError(
+                        f"orderer deliver stream sent {message.get('type')!r}"
+                    )
+                block = dec_block(message.get("block"))
+                state.peer.validate_and_commit(block, commit_time=state.now())
+        except (ConnectionClosed, ConnectionError, OSError):
+            writer.close()
+            continue  # reconnect from the new height
+
+
+async def _handle_deliver(
+    state: PeerState, writer: asyncio.StreamWriter, start_block: int
+) -> None:
+    """Stream committed blocks: ledger replay, then live commits.
+
+    The hub subscription is installed *before* replay (the deliver-service
+    pattern from :mod:`repro.events.deliver`): blocks committed mid-replay
+    land in the queue and the cursor guard drops the ones replay already
+    sent, so the consumer sees every block exactly once, in order.
+    """
+
+    queue: asyncio.Queue = asyncio.Queue()
+    unsubscribe = state.peer.events.subscribe_internal(
+        lambda committed, _name: queue.put_nowait(committed)
+    )
+    cursor = start_block
+    try:
+        while cursor < state.peer.ledger.height:
+            committed = state.peer.ledger.block_at(cursor)
+            await write_message(
+                writer, {"type": "block", "committed": enc_committed_block(committed)}
+            )
+            cursor += 1
+        while True:
+            committed = await queue.get()
+            if committed.block.number < cursor:
+                continue
+            await write_message(
+                writer, {"type": "block", "committed": enc_committed_block(committed)}
+            )
+            cursor = committed.block.number + 1
+    finally:
+        unsubscribe()
+
+
+async def _handle_connection(
+    state: PeerState, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    peer = state.peer
+    try:
+        while True:
+            try:
+                message = await read_message(reader)
+                kind = message_type(message)
+            except ConnectionClosed:
+                return
+            except (FrameError, WireError) as exc:
+                try:
+                    await write_message(writer, error_message(str(exc)))
+                except (ConnectionError, OSError):
+                    pass
+                return
+
+            if kind == "ping":
+                await write_message(
+                    writer,
+                    {"type": "pong", "node": peer.name, "height": peer.ledger.height},
+                )
+            elif kind == "endorse":
+                try:
+                    proposal = dec_proposal(message.get("proposal"))
+                except WireError as exc:
+                    await write_message(writer, error_message(str(exc)))
+                    continue
+                timestamp = float(message.get("timestamp", 0.0))
+                outcome = peer.endorse(proposal, timestamp)
+                if isinstance(outcome, ProposalResponse):
+                    await write_message(
+                        writer,
+                        {
+                            "type": "endorse_result",
+                            "ok": True,
+                            "response": enc_proposal_response(outcome),
+                        },
+                    )
+                else:
+                    await write_message(
+                        writer,
+                        {
+                            "type": "endorse_result",
+                            "ok": False,
+                            "failure": enc_endorsement_failure(outcome),
+                        },
+                    )
+            elif kind == "ledger_info":
+                await write_message(
+                    writer,
+                    {
+                        "type": "ledger_info_result",
+                        "peer": peer.name,
+                        "height": peer.ledger.height,
+                        "fingerprint": peer.ledger.state.fingerprint().hex(),
+                    },
+                )
+            elif kind == "deliver":
+                start = message.get("start_block", 0)
+                if not isinstance(start, int) or start < 0:
+                    await write_message(
+                        writer, error_message(f"bad deliver start_block {start!r}")
+                    )
+                    return
+                await _handle_deliver(state, writer, start)
+                return
+            else:
+                await write_message(
+                    writer, error_message(f"peer cannot handle {kind!r}")
+                )
+    except (ConnectionError, OSError, asyncio.CancelledError):
+        return
+    finally:
+        writer.close()
+
+
+async def _serve(
+    state: PeerState, orderer_host: str, orderer_port: int, port_conn
+) -> None:
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(state, r, w), "127.0.0.1", 0
+    )
+    port = server.sockets[0].getsockname()[1]
+    port_conn.send(port)
+    port_conn.close()
+
+    follower = asyncio.create_task(_follow_orderer(state, orderer_host, orderer_port))
+    try:
+        async with server:
+            stop_wait = asyncio.create_task(stop.wait())
+            done, _pending = await asyncio.wait(
+                {stop_wait, follower}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if follower in done:
+                follower.result()  # surface the follower's failure
+    finally:
+        follower.cancel()
+        state.peer.ledger.state.close()
+
+
+def peer_process_main(
+    profile_dict: dict, qualified_name: str, orderer_host: str, orderer_port: int, port_conn
+) -> None:
+    """Entry point of a spawned peer process."""
+
+    profile = ClusterProfile.from_dict(profile_dict)
+    state = PeerState(build_peer(profile, qualified_name))
+    asyncio.run(_serve(state, orderer_host, orderer_port, port_conn))

@@ -1,0 +1,490 @@
+"""The socket transport: the full Gateway programming model over TCP.
+
+:class:`SocketTransport` is the client side of the distributed runtime — a
+complete :class:`~repro.gateway.transport.Transport`, so every Gateway
+feature works against a :class:`~repro.net.cluster.Cluster` unchanged:
+``submit`` / ``submit_async`` / ``submit_batch`` / ``evaluate``,
+``gateway.block_events()`` and ``contract.contract_events()`` with
+checkpoint/resume, and the channel's commit-status tracking.
+
+The design mirrors how a real Fabric Gateway client is structured:
+
+* **Mirror peers.**  For each remote peer the transport keeps a
+  :class:`MirrorPeer` — a real :class:`~repro.fabric.ledger.Ledger` plus
+  :class:`~repro.fabric.events.EventHub` — fed by that peer's deliver
+  stream.  Absorbing a block re-verifies its integrity and hash chain
+  (``Ledger.append_block``), so every streamed block is cryptographically
+  checked against what the orderer cut; applying its effective writes
+  rebuilds the peer's world state client-side.  All existing event-service
+  machinery (deliver sessions, block/contract streams, checkpoints) then
+  runs unmodified on the mirrors — the streams cannot tell a mirror from
+  an in-process peer.
+* **One private event loop**, driven synchronously.  Public methods run
+  ``loop.run_until_complete(...)``; the per-peer deliver readers are
+  long-lived tasks on the same loop, so they make progress during *any*
+  transport call (and during :meth:`pump`, for pure event consumers).
+  No background threads, no locks beyond per-connection request ordering.
+* **Typed failure, never a hang.**  Every request carries a deadline; an
+  endorsement that times out or hits a dead peer becomes an
+  :class:`~repro.fabric.transaction.EndorsementFailure` inside the normal
+  endorsement round (surfacing as ``EndorseError`` at ``commit_status()``),
+  a failed broadcast raises :class:`~repro.gateway.errors.SubmitError`,
+  and a commit that never arrives raises
+  :class:`~repro.net.errors.CommitTimeoutError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional, Sequence
+
+from ..common.serialization import from_bytes
+from ..common.types import TxStatus, Version
+from ..events.deliver import DeliverService
+from ..fabric.client import Client, EndorsementRoundFailure, select_endorsing_orgs
+from ..fabric.events import EventHub
+from ..fabric.ledger import Ledger
+from ..fabric.store import WriteBatch
+from ..fabric.transaction import EndorsementFailure, Proposal, TransactionEnvelope
+from ..gateway.channel import NUM_CLIENTS, Channel
+from ..gateway.errors import EndorseError, SubmitError
+from ..gateway.transport import (
+    EndorsementFailureHook,
+    SubmittedTransaction,
+    Transport,
+)
+from .codec import read_message, write_message
+from .errors import (
+    CommitTimeoutError,
+    ConnectionClosed,
+    PeerUnreachableError,
+    RequestTimeout,
+    TransportError,
+)
+from .profile import (
+    ClusterProfile,
+    build_chaincode_registry,
+    build_membership,
+    default_policy,
+)
+from .wire import (
+    dec_committed_block,
+    dec_endorsement_failure,
+    dec_proposal_response,
+    enc_envelope,
+    enc_proposal,
+    message_type,
+)
+
+#: Default per-request deadline (endorse, broadcast, ledger_info).
+DEFAULT_REQUEST_TIMEOUT_S = 10.0
+
+#: Default deadline for a submitted transaction's commit status.
+DEFAULT_COMMIT_TIMEOUT_S = 60.0
+
+
+class MirrorPeer:
+    """A client-side replica of one remote peer's ledger and event hub.
+
+    Quacks like :class:`~repro.fabric.peer.Peer` for everything the event
+    service needs — ``ledger``, ``events``, ``name`` — so deliver sessions
+    and Gateway streams attach to it unchanged.  It cannot endorse; the
+    transport routes endorsements to the real peer over its socket.
+    """
+
+    def __init__(self, name: str, org_name: str) -> None:
+        self.name = name
+        self.org_name = org_name
+        self.ledger = Ledger()
+        self.events = EventHub(name)
+
+    def absorb(self, committed) -> None:
+        """Apply one streamed block: state, chain (verified), then publish.
+
+        Same order as :meth:`Peer.apply_prepared`; ``append_block``
+        re-checks the block's data hash and chain link, so a corrupted or
+        tampered stream fails loudly here instead of silently skewing the
+        mirror.
+        """
+
+        block = committed.block
+        batch = WriteBatch(block_number=block.number)
+        for tx_index, write in committed.writes_applied():
+            batch.put(
+                write.key, write.value, Version(block.number, tx_index), write.is_delete
+            )
+        self.ledger.state.apply_batch(batch)
+        self.ledger.append_block(committed)
+        self.events.publish(committed)
+
+    def __repr__(self) -> str:
+        return f"<MirrorPeer {self.name} height={self.ledger.height}>"
+
+
+class RemoteChannel(Channel):
+    """A client-side :class:`Channel` view of a remote cluster.
+
+    Shares the real Channel's *surface* — clients, policies, chaincode
+    registry, status tracking, convergence checks — but its peers are
+    :class:`MirrorPeer` replicas fed by deliver streams instead of live
+    protocol engines.  Membership is rebuilt deterministically from the
+    topology, so this channel's clients produce signatures (and, with the
+    same submission order, transaction IDs) identical to an in-process
+    channel's.
+    """
+
+    def __init__(self, profile: ClusterProfile) -> None:
+        # Deliberately no super().__init__: the base constructor builds
+        # live peers; this channel mirrors remote ones.
+        self.config = profile.config
+        self.profile = profile
+        self.membership = build_membership(profile.config.topology, NUM_CLIENTS)
+        self.chaincodes, explicit = build_chaincode_registry(profile.chaincodes)
+        fallback = default_policy(profile.config.topology)
+        self._policies = {
+            name: explicit.get(name, fallback) for name in self.chaincodes.names()
+        }
+        self.peers = [
+            MirrorPeer(endpoint.name, endpoint.org) for endpoint in profile.peers
+        ]
+        topology = profile.config.topology
+        self.clients = [
+            Client(
+                self.membership.enroll(
+                    topology.org_names[i % topology.num_orgs], f"client{i}"
+                ),
+                self.membership,
+            )
+            for i in range(NUM_CLIENTS)
+        ]
+        self.statuses: dict[str, TxStatus] = {}
+        # Commit tracking rides the anchor mirror's deliver session, the
+        # same pattern the base channel uses on its anchor peer.
+        self._deliver_session = DeliverService(self.anchor_peer).deliver(
+            self._on_commit, start_block=0
+        )
+
+
+class _NodeConnection:
+    """One request/response connection, with FIFO request ordering."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.lock = asyncio.Lock()
+
+
+class SocketTransport(Transport):
+    """A :class:`Transport` speaking the wire protocol to a live cluster."""
+
+    def __init__(
+        self,
+        profile: ClusterProfile,
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+        commit_timeout_s: float = DEFAULT_COMMIT_TIMEOUT_S,
+    ) -> None:
+        self.profile = profile
+        self.channel = RemoteChannel(profile)
+        self.request_timeout_s = request_timeout_s
+        self.commit_timeout_s = commit_timeout_s
+        self._loop = asyncio.new_event_loop()
+        self._conns: dict[str, _NodeConnection] = {}
+        self._deliver_tasks: list[asyncio.Task] = []
+        self._closed = False
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def connect(
+        cls,
+        profile: ClusterProfile,
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+        commit_timeout_s: float = DEFAULT_COMMIT_TIMEOUT_S,
+    ) -> "SocketTransport":
+        """Open request connections to every node and start deliver streams."""
+
+        transport = cls(profile, request_timeout_s, commit_timeout_s)
+        try:
+            transport._run(transport._open_all())
+        except BaseException:
+            transport.close()
+            raise
+        return transport
+
+    async def _open_all(self) -> None:
+        orderer = self.profile.orderer
+        self._conns["orderer"] = await self._open(orderer.host, orderer.port, "orderer")
+        for endpoint, mirror in zip(self.profile.peers, self.channel.peers):
+            self._conns[endpoint.name] = await self._open(
+                endpoint.host, endpoint.port, endpoint.name
+            )
+            self._deliver_tasks.append(
+                asyncio.get_running_loop().create_task(
+                    self._deliver_reader(endpoint, mirror)
+                )
+            )
+
+    async def _open(self, host: str, port: int, label: str) -> _NodeConnection:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), self.request_timeout_s
+            )
+        except asyncio.TimeoutError:
+            raise RequestTimeout(f"connecting to {label} at {host}:{port} timed out")
+        except (ConnectionError, OSError) as exc:
+            raise PeerUnreachableError(f"cannot reach {label} at {host}:{port}: {exc}")
+        return _NodeConnection(reader, writer)
+
+    async def _deliver_reader(self, endpoint, mirror: MirrorPeer) -> None:
+        """Feed one mirror from its peer's deliver stream, forever."""
+
+        try:
+            reader, writer = await asyncio.open_connection(endpoint.host, endpoint.port)
+        except (ConnectionError, OSError):
+            return
+        try:
+            await write_message(writer, {"type": "deliver", "start_block": 0})
+            while True:
+                message = await read_message(reader)
+                if message_type(message) != "block":
+                    raise TransportError(
+                        f"deliver stream from {endpoint.name} sent "
+                        f"{message.get('type')!r}"
+                    )
+                mirror.absorb(dec_committed_block(message.get("committed")))
+        except (ConnectionClosed, ConnectionError, OSError, asyncio.CancelledError):
+            return
+        finally:
+            writer.close()
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _run(self, coro):
+        if self._closed:
+            raise TransportError("transport is closed")
+        return self._loop.run_until_complete(coro)
+
+    async def _request(self, node: str, message: dict, label: str) -> dict:
+        conn = self._conns[node]
+        try:
+            async with conn.lock:
+                await asyncio.wait_for(
+                    write_message(conn.writer, message), self.request_timeout_s
+                )
+                reply = await asyncio.wait_for(
+                    read_message(conn.reader), self.request_timeout_s
+                )
+        except asyncio.TimeoutError:
+            raise RequestTimeout(
+                f"{label} to {node} timed out after {self.request_timeout_s:g}s"
+            )
+        except (ConnectionClosed, ConnectionError, OSError) as exc:
+            raise PeerUnreachableError(f"{label} to {node} failed: {exc}")
+        if message_type(reply) == "error":
+            raise TransportError(f"{label} to {node} rejected: {reply.get('error')}")
+        return reply
+
+    def pump(self, seconds: float = 0.05) -> None:
+        """Run the event loop briefly so deliver streams make progress.
+
+        Event-stream consumers that are not otherwise calling the
+        transport use this to let blocks arrive (the loop only runs inside
+        transport calls — there is no background thread).
+        """
+
+        self._run(asyncio.sleep(seconds))
+
+    # -- endorsement --------------------------------------------------------------
+
+    async def _endorse_one(
+        self, peer_name: str, proposal: Proposal, timestamp: float
+    ):
+        try:
+            reply = await self._request(
+                peer_name,
+                {
+                    "type": "endorse",
+                    "proposal": enc_proposal(proposal),
+                    "timestamp": timestamp,
+                },
+                "endorse",
+            )
+        except TransportError as exc:
+            # A dead or slow peer is an endorsement failure, not a crash:
+            # the round continues and the policy decides if it still passes.
+            return EndorsementFailure(
+                proposal.tx_id, peer_name, f"transport: {exc}"
+            )
+        if reply.get("ok"):
+            return dec_proposal_response(reply.get("response"))
+        return dec_endorsement_failure(reply.get("failure"))
+
+    async def _endorse(
+        self, proposal: Proposal, peer_names: Sequence[str], timestamp: float
+    ):
+        outcomes = await asyncio.gather(
+            *(self._endorse_one(name, proposal, timestamp) for name in peer_names)
+        )
+        responses = [o for o in outcomes if not isinstance(o, EndorsementFailure)]
+        failures = [o for o in outcomes if isinstance(o, EndorsementFailure)]
+        return responses, failures
+
+    # -- the Transport ABC --------------------------------------------------------
+
+    def submit_async(
+        self,
+        chaincode: str,
+        function: str,
+        args: Sequence[str],
+        client_index: int = 0,
+        on_endorsement_failure: Optional[EndorsementFailureHook] = None,
+    ) -> SubmittedTransaction:
+        channel = self.channel
+        client = channel.client(client_index)
+        policy = channel.policy_for(chaincode)
+        now = self.now
+        proposal = client.new_proposal(channel.name, chaincode, function, args, policy, now)
+        endorsing_orgs = select_endorsing_orgs(policy, channel.org_names)
+        peer_names = [self.profile.peers_of(org)[0].name for org in endorsing_orgs]
+        responses, failures = self._run(self._endorse(proposal, peer_names, now))
+        outcome = client.assemble(proposal, responses, failures)
+        if isinstance(outcome, EndorsementRoundFailure):
+            if on_endorsement_failure is not None:
+                on_endorsement_failure(proposal.tx_id, now)
+            return SubmittedTransaction(
+                self, proposal.tx_id, now, ordered=False, endorse_failure=outcome,
+                chaincode=chaincode, function=function,
+            )
+        envelope = outcome.envelope
+        result_bytes = envelope.chaincode_result
+        if envelope.rwset.is_read_only:
+            return SubmittedTransaction(
+                self, proposal.tx_id, now, ordered=False, result_bytes=result_bytes,
+                chaincode=chaincode, function=function,
+                chaincode_event=envelope.event,
+            )
+        self._run(self._broadcast(envelope))
+        return SubmittedTransaction(
+            self, proposal.tx_id, now, result_bytes=result_bytes,
+            chaincode=chaincode, function=function,
+            chaincode_event=envelope.event,
+        )
+
+    async def _broadcast(self, envelope: TransactionEnvelope) -> dict:
+        try:
+            return await self._request(
+                "orderer",
+                {"type": "broadcast", "envelope": enc_envelope(envelope)},
+                "broadcast",
+            )
+        except TransportError as exc:
+            raise SubmitError(
+                envelope.tx_id, f"could not hand {envelope.tx_id} to the orderer: {exc}"
+            ) from exc
+
+    def evaluate(self, chaincode, function, args, client_index: int = 0):
+        """Read-only invocation, endorsed by the remote anchor peer."""
+
+        channel = self.channel
+        client = channel.client(client_index)
+        policy = channel.policy_for(chaincode)
+        now = self.now
+        proposal = client.new_proposal(channel.name, chaincode, function, args, policy, now)
+        anchor = self.profile.anchor_peer.name
+        responses, failures = self._run(self._endorse(proposal, [anchor], now))
+        outcome = client.assemble(proposal, responses, failures)
+        if isinstance(outcome, EndorsementRoundFailure):
+            raise EndorseError(outcome)
+        return from_bytes(outcome.envelope.chaincode_result)
+
+    def wait_for(self, tx: SubmittedTransaction) -> TxStatus:
+        status = self.channel.statuses.get(tx.tx_id)
+        if status is None:
+            # Drain anything already on the wire before forcing a cut.
+            self.pump(0.01)
+            status = self.channel.statuses.get(tx.tx_id)
+        if status is None:
+            # Same semantics as SyncTransport.wait_for: an unresolved
+            # transaction is (presumably) sitting in the pending batch.
+            self.flush()
+            status = self._run(self._await_status(tx.tx_id))
+        return status
+
+    async def _await_status(self, tx_id: str) -> TxStatus:
+        deadline = self._loop.time() + self.commit_timeout_s
+        while True:
+            status = self.channel.statuses.get(tx_id)
+            if status is not None:
+                return status
+            if self._loop.time() >= deadline:
+                raise CommitTimeoutError(tx_id, self.commit_timeout_s)
+            await asyncio.sleep(0.005)
+
+    def flush(self) -> dict:
+        """Force-cut the orderer's pending batch (remote ``flush``)."""
+
+        return self._run(self._request("orderer", {"type": "flush"}, "flush"))
+
+    # -- cluster inspection -------------------------------------------------------
+
+    def ledger_info(self, peer_index: int = 0) -> dict:
+        """The *remote* peer's height and state fingerprint (hex).
+
+        This asks the actual peer process — not the local mirror — so it is
+        the ground truth for convergence/parity checks.
+        """
+
+        name = self.profile.peers[peer_index].name
+        return self._run(self._request(name, {"type": "ledger_info"}, "ledger_info"))
+
+    def wait_for_height(self, height: int, timeout_s: float = 30.0) -> None:
+        """Block until every remote peer's ledger reaches ``height``."""
+
+        self._run(self._await_height(height, timeout_s))
+
+    async def _await_height(self, height: int, timeout_s: float) -> None:
+        deadline = self._loop.time() + timeout_s
+        pending = list(range(len(self.profile.peers)))
+        while pending:
+            still: list[int] = []
+            for index in pending:
+                name = self.profile.peers[index].name
+                info = await self._request(name, {"type": "ledger_info"}, "ledger_info")
+                if info.get("height", 0) < height:
+                    still.append(index)
+            pending = still
+            if pending:
+                if self._loop.time() >= deadline:
+                    names = [self.profile.peers[i].name for i in pending]
+                    raise CommitTimeoutError(
+                        "<height barrier>", timeout_s,
+                        f"peers {names} below height {height}",
+                    )
+                await asyncio.sleep(0.01)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down every connection and the private loop.  Idempotent."""
+
+        if self._closed:
+            return
+        for task in self._deliver_tasks:
+            task.cancel()
+        if self._deliver_tasks:
+            self._loop.run_until_complete(
+                asyncio.gather(*self._deliver_tasks, return_exceptions=True)
+            )
+        for conn in self._conns.values():
+            conn.writer.close()
+        # One settling pass so transports flush their close frames.
+        self._loop.run_until_complete(asyncio.sleep(0))
+        self.channel.close()
+        self._loop.close()
+        self._closed = True
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"SocketTransport({len(self.profile.peers)} peers + orderer, {state})"
+        )

@@ -1,0 +1,486 @@
+"""The typed message schema: protocol structures <-> JSON wire form.
+
+One encoder/decoder pair per protocol structure (proposals, read-write
+sets, proposal responses, envelopes, blocks, committed blocks) plus the
+top-level request/response messages the servers speak.  Encoding rules:
+
+* ``bytes`` fields travel base64 (signatures, hashes, chaincode values);
+* :class:`~repro.common.types.Version` travels as its compact ``"b:t"``
+  string (``None`` for never-committed keys);
+* :class:`~repro.common.types.ValidationCode` travels by name;
+* endorsement-policy trees travel as tagged dicts
+  (``{"principal": org}`` / ``{"out_of": {...}}``).
+
+Every decoder is *strict*: unknown validation codes, malformed versions,
+missing fields, or the wrong JSON shape raise :class:`WireError` — never a
+bare ``KeyError`` a server loop would have to guess about.  Round-tripping
+is exact (``decode(encode(x)) == x``), which the hypothesis property tests
+in ``tests/net`` pin down per message type; exactness matters beyond
+hygiene because block data hashes are recomputed from decoded envelopes on
+the far side — a lossy codec would break the hash chain, not just a field.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from typing import Any, Optional
+
+from ..common.errors import FabricError
+from ..common.types import (
+    RangeQueryInfo,
+    ReadItem,
+    ReadWriteSet,
+    ValidationCode,
+    Version,
+    WriteItem,
+)
+from ..fabric.block import Block, BlockHeader, BlockMetadata, CommittedBlock
+from ..fabric.identity import SignedPayload
+from ..fabric.policy import EndorsementPolicy, OutOf, Principal
+from ..fabric.transaction import (
+    ChaincodeEvent,
+    EndorsementFailure,
+    Proposal,
+    ProposalResponse,
+    TransactionEnvelope,
+)
+
+
+class WireError(FabricError):
+    """A message failed to decode against the schema."""
+
+
+def _require(mapping: Any, key: str, context: str) -> Any:
+    if not isinstance(mapping, dict):
+        raise WireError(f"{context}: expected an object, got {type(mapping).__name__}")
+    try:
+        return mapping[key]
+    except KeyError:
+        raise WireError(f"{context}: missing field {key!r}") from None
+
+
+# -- scalars ----------------------------------------------------------------
+
+
+def enc_bytes(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def dec_bytes(text: Any, context: str = "bytes") -> bytes:
+    if not isinstance(text, str):
+        raise WireError(f"{context}: expected a base64 string")
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (binascii.Error, ValueError) as exc:
+        raise WireError(f"{context}: invalid base64: {exc}") from None
+
+
+def enc_version(version: Optional[Version]) -> Optional[str]:
+    return str(version) if version is not None else None
+
+
+def dec_version(text: Any, context: str = "version") -> Optional[Version]:
+    if text is None:
+        return None
+    if not isinstance(text, str):
+        raise WireError(f"{context}: expected a 'b:t' string")
+    try:
+        return Version.parse(text)
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"{context}: malformed version {text!r}: {exc}") from None
+
+
+def dec_validation_code(name: Any, context: str = "validation code") -> ValidationCode:
+    try:
+        return ValidationCode[name]
+    except (KeyError, TypeError):
+        raise WireError(f"{context}: unknown validation code {name!r}") from None
+
+
+# -- endorsement policies -----------------------------------------------------
+
+
+def enc_policy_node(node) -> dict:
+    if isinstance(node, Principal):
+        return {"principal": node.org_name}
+    if isinstance(node, OutOf):
+        return {
+            "out_of": {
+                "threshold": node.threshold,
+                "rules": [enc_policy_node(rule) for rule in node.rules],
+            }
+        }
+    raise WireError(f"unencodable policy node {type(node).__name__}")
+
+
+def dec_policy_node(data: Any, context: str = "policy"):
+    if not isinstance(data, dict):
+        raise WireError(f"{context}: expected a tagged policy object")
+    if "principal" in data:
+        org = data["principal"]
+        if not isinstance(org, str):
+            raise WireError(f"{context}: principal must name an org")
+        return Principal(org)
+    if "out_of" in data:
+        body = data["out_of"]
+        threshold = _require(body, "threshold", context)
+        rules = _require(body, "rules", context)
+        if not isinstance(threshold, int) or not isinstance(rules, list):
+            raise WireError(f"{context}: malformed out_of node")
+        try:
+            return OutOf(
+                threshold,
+                tuple(dec_policy_node(rule, context) for rule in rules),
+            )
+        except FabricError:
+            raise
+        except Exception as exc:
+            raise WireError(f"{context}: invalid out_of node: {exc}") from None
+    raise WireError(f"{context}: unknown policy tag in {sorted(data)}")
+
+
+def enc_policy(policy) -> dict:
+    """Encode a policy: a bare node, or an :class:`EndorsementPolicy` wrapper.
+
+    The channel stores policies as bare ``OutOf``/``Principal`` nodes (see
+    ``Channel.deploy``); the wire canonicalizes to the node form, so a
+    wrapped policy decodes back as its expression node.
+    """
+
+    if isinstance(policy, EndorsementPolicy):
+        return enc_policy_node(policy.expression)
+    return enc_policy_node(policy)
+
+
+def dec_policy(data: Any, context: str = "policy"):
+    return dec_policy_node(data, context)
+
+
+# -- read-write sets ----------------------------------------------------------
+
+
+def enc_rwset(rwset: ReadWriteSet) -> dict:
+    return {
+        "reads": [
+            {"key": read.key, "version": enc_version(read.version)}
+            for read in rwset.reads
+        ],
+        "writes": [
+            {
+                "key": write.key,
+                "value": enc_bytes(write.value),
+                "is_delete": write.is_delete,
+                "is_crdt": write.is_crdt,
+            }
+            for write in rwset.writes
+        ],
+        "range_queries": [
+            {
+                "start_key": rq.start_key,
+                "end_key": rq.end_key,
+                "results_hash": enc_bytes(rq.results_hash),
+            }
+            for rq in rwset.range_queries
+        ],
+    }
+
+
+def dec_rwset(data: Any, context: str = "rwset") -> ReadWriteSet:
+    reads = tuple(
+        ReadItem(
+            key=_require(item, "key", f"{context}.reads"),
+            version=dec_version(item.get("version"), f"{context}.reads"),
+        )
+        for item in _require(data, "reads", context)
+    )
+    writes = tuple(
+        WriteItem(
+            key=_require(item, "key", f"{context}.writes"),
+            value=dec_bytes(_require(item, "value", f"{context}.writes")),
+            is_delete=bool(item.get("is_delete", False)),
+            is_crdt=bool(item.get("is_crdt", False)),
+        )
+        for item in _require(data, "writes", context)
+    )
+    range_queries = tuple(
+        RangeQueryInfo(
+            start_key=_require(item, "start_key", f"{context}.range_queries"),
+            end_key=_require(item, "end_key", f"{context}.range_queries"),
+            results_hash=dec_bytes(_require(item, "results_hash", f"{context}.range_queries")),
+        )
+        for item in _require(data, "range_queries", context)
+    )
+    return ReadWriteSet(reads, writes, range_queries)
+
+
+# -- identities and events ----------------------------------------------------
+
+
+def enc_signed(signed: SignedPayload) -> dict:
+    return {
+        "payload_hash": enc_bytes(signed.payload_hash),
+        "signer": signed.signer,
+        "signature": enc_bytes(signed.signature),
+    }
+
+
+def dec_signed(data: Any, context: str = "signed payload") -> SignedPayload:
+    return SignedPayload(
+        payload_hash=dec_bytes(_require(data, "payload_hash", context), context),
+        signer=_require(data, "signer", context),
+        signature=dec_bytes(_require(data, "signature", context), context),
+    )
+
+
+def enc_event(event: Optional[ChaincodeEvent]) -> Optional[dict]:
+    if event is None:
+        return None
+    return {"name": event.name, "payload": event.payload}
+
+
+def dec_event(data: Any, context: str = "event") -> Optional[ChaincodeEvent]:
+    if data is None:
+        return None
+    return ChaincodeEvent(
+        name=_require(data, "name", context), payload=data.get("payload")
+    )
+
+
+# -- proposals / responses / envelopes ---------------------------------------
+
+
+def enc_proposal(proposal: Proposal) -> dict:
+    return {
+        "tx_id": proposal.tx_id,
+        "channel": proposal.channel,
+        "chaincode": proposal.chaincode,
+        "function": proposal.function,
+        "args": list(proposal.args),
+        "creator": proposal.creator,
+        "policy": enc_policy(proposal.policy),
+        "submit_time": proposal.submit_time,
+    }
+
+
+def dec_proposal(data: Any, context: str = "proposal") -> Proposal:
+    args = _require(data, "args", context)
+    if not isinstance(args, list) or not all(isinstance(arg, str) for arg in args):
+        raise WireError(f"{context}: args must be a list of strings")
+    return Proposal(
+        tx_id=_require(data, "tx_id", context),
+        channel=_require(data, "channel", context),
+        chaincode=_require(data, "chaincode", context),
+        function=_require(data, "function", context),
+        args=tuple(args),
+        creator=_require(data, "creator", context),
+        policy=dec_policy(_require(data, "policy", context), f"{context}.policy"),
+        submit_time=float(_require(data, "submit_time", context)),
+    )
+
+
+def enc_proposal_response(response: ProposalResponse) -> dict:
+    return {
+        "tx_id": response.tx_id,
+        "endorser": response.endorser,
+        "rwset": enc_rwset(response.rwset),
+        "chaincode_result": enc_bytes(response.chaincode_result),
+        "endorsement": enc_signed(response.endorsement),
+        "event": enc_event(response.event),
+    }
+
+
+def dec_proposal_response(data: Any, context: str = "proposal response") -> ProposalResponse:
+    return ProposalResponse(
+        tx_id=_require(data, "tx_id", context),
+        endorser=_require(data, "endorser", context),
+        rwset=dec_rwset(_require(data, "rwset", context), f"{context}.rwset"),
+        chaincode_result=dec_bytes(_require(data, "chaincode_result", context), context),
+        endorsement=dec_signed(_require(data, "endorsement", context), context),
+        event=dec_event(data.get("event"), f"{context}.event"),
+    )
+
+
+def enc_endorsement_failure(failure: EndorsementFailure) -> dict:
+    return {
+        "tx_id": failure.tx_id,
+        "endorser": failure.endorser,
+        "reason": failure.reason,
+        "chaincode_error": failure.chaincode_error,
+    }
+
+
+def dec_endorsement_failure(data: Any, context: str = "endorsement failure") -> EndorsementFailure:
+    return EndorsementFailure(
+        tx_id=_require(data, "tx_id", context),
+        endorser=_require(data, "endorser", context),
+        reason=_require(data, "reason", context),
+        chaincode_error=data.get("chaincode_error"),
+    )
+
+
+def enc_envelope(envelope: TransactionEnvelope) -> dict:
+    return {
+        "proposal": enc_proposal(envelope.proposal),
+        "rwset": enc_rwset(envelope.rwset),
+        "endorsements": [enc_signed(signed) for signed in envelope.endorsements],
+        "chaincode_result": enc_bytes(envelope.chaincode_result),
+        "client_signature": (
+            enc_signed(envelope.client_signature)
+            if envelope.client_signature is not None
+            else None
+        ),
+        "event": enc_event(envelope.event),
+    }
+
+
+def dec_envelope(data: Any, context: str = "envelope") -> TransactionEnvelope:
+    client_signature = data.get("client_signature")
+    return TransactionEnvelope(
+        proposal=dec_proposal(_require(data, "proposal", context), f"{context}.proposal"),
+        rwset=dec_rwset(_require(data, "rwset", context), f"{context}.rwset"),
+        endorsements=tuple(
+            dec_signed(item, f"{context}.endorsements")
+            for item in _require(data, "endorsements", context)
+        ),
+        chaincode_result=dec_bytes(_require(data, "chaincode_result", context), context),
+        client_signature=(
+            dec_signed(client_signature, f"{context}.client_signature")
+            if client_signature is not None
+            else None
+        ),
+        event=dec_event(data.get("event"), f"{context}.event"),
+    )
+
+
+# -- blocks ------------------------------------------------------------------
+
+
+def enc_block(block: Block) -> dict:
+    return {
+        "header": {
+            "number": block.header.number,
+            "previous_hash": enc_bytes(block.header.previous_hash),
+            "data_hash": enc_bytes(block.header.data_hash),
+        },
+        "transactions": [enc_envelope(tx) for tx in block.transactions],
+        "cut_reason": block.cut_reason,
+        "cut_time": block.cut_time,
+    }
+
+
+def dec_block(data: Any, context: str = "block") -> Block:
+    header = _require(data, "header", context)
+    return Block(
+        header=BlockHeader(
+            number=_require(header, "number", f"{context}.header"),
+            previous_hash=dec_bytes(_require(header, "previous_hash", f"{context}.header")),
+            data_hash=dec_bytes(_require(header, "data_hash", f"{context}.header")),
+        ),
+        transactions=tuple(
+            dec_envelope(item, f"{context}.transactions")
+            for item in _require(data, "transactions", context)
+        ),
+        cut_reason=_require(data, "cut_reason", context),
+        cut_time=float(_require(data, "cut_time", context)),
+    )
+
+
+def enc_metadata(metadata: BlockMetadata) -> dict:
+    return {
+        "block_num": metadata.block_num,
+        "flags": [code.name for code in metadata.flags],
+    }
+
+
+def dec_metadata(data: Any, context: str = "metadata") -> BlockMetadata:
+    return BlockMetadata(
+        block_num=_require(data, "block_num", context),
+        flags=[
+            dec_validation_code(name, context)
+            for name in _require(data, "flags", context)
+        ],
+    )
+
+
+def enc_committed_block(committed: CommittedBlock) -> dict:
+    effective = None
+    if committed.effective_writes is not None:
+        effective = [
+            {
+                "tx_index": tx_index,
+                "key": write.key,
+                "value": enc_bytes(write.value),
+                "is_delete": write.is_delete,
+                "is_crdt": write.is_crdt,
+            }
+            for tx_index, write in committed.effective_writes
+        ]
+    return {
+        "block": enc_block(committed.block),
+        "metadata": enc_metadata(committed.metadata),
+        "commit_time": committed.commit_time,
+        "effective_writes": effective,
+    }
+
+
+def dec_committed_block(data: Any, context: str = "committed block") -> CommittedBlock:
+    effective_raw = data.get("effective_writes")
+    effective = None
+    if effective_raw is not None:
+        effective = tuple(
+            (
+                _require(item, "tx_index", f"{context}.effective_writes"),
+                WriteItem(
+                    key=_require(item, "key", f"{context}.effective_writes"),
+                    value=dec_bytes(_require(item, "value", f"{context}.effective_writes")),
+                    is_delete=bool(item.get("is_delete", False)),
+                    is_crdt=bool(item.get("is_crdt", False)),
+                ),
+            )
+            for item in effective_raw
+        )
+    return CommittedBlock(
+        block=dec_block(_require(data, "block", context), f"{context}.block"),
+        metadata=dec_metadata(_require(data, "metadata", context), f"{context}.metadata"),
+        commit_time=float(_require(data, "commit_time", context)),
+        effective_writes=effective,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Top-level messages
+# ---------------------------------------------------------------------------
+
+#: Every message type a peer or orderer server understands or emits.
+MESSAGE_TYPES = frozenset(
+    {
+        "ping",
+        "pong",
+        "endorse",
+        "endorse_result",
+        "broadcast",
+        "broadcast_ack",
+        "flush",
+        "flush_ack",
+        "deliver",
+        "block",
+        "raw_block",
+        "ledger_info",
+        "ledger_info_result",
+        "error",
+    }
+)
+
+
+def message_type(message: Any) -> str:
+    """The validated ``type`` tag of a decoded message."""
+
+    kind = _require(message, "type", "message")
+    if kind not in MESSAGE_TYPES:
+        raise WireError(f"unknown message type {kind!r}")
+    return kind
+
+
+def error_message(detail: str) -> dict:
+    return {"type": "error", "error": detail}

@@ -190,6 +190,7 @@ def run_round(
         env.step()
     client.finish()
     events.close()
+    network.close()
     if not collector.done.triggered:
         raise RuntimeError(
             f"round ended with {len(collector.statuses)}/{len(plan)} "

@@ -1,0 +1,185 @@
+"""End-to-end: real processes, real sockets, the full Gateway surface.
+
+One module-scoped cluster (an orderer + two peers, each its own OS
+process) serves every test: submission and commit statuses, CRDT merge
+across process boundaries, evaluate, remote fingerprint convergence, and
+the event service — block streams, contract events, checkpoint/resume —
+running over deliver sockets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.config import TopologyConfig, fabriccrdt_config
+from repro.gateway.gateway import Gateway
+from repro.net import Cluster, SocketTransport
+from repro.workload.iot import encode_call, reading_payload
+
+CHAINCODES = [
+    "repro.workload.iot:IoTChaincode",
+    "repro.core.counters:VotingChaincode",
+]
+
+
+def cluster_config(state_backend: str = "memory"):
+    base = fabriccrdt_config(max_message_count=4, state_backend=state_backend)
+    return dataclasses.replace(
+        base,
+        topology=TopologyConfig(num_orgs=2, peers_per_org=1),
+        # No wall-clock cuts during tests: blocks cut on count or flush.
+        orderer=dataclasses.replace(base.orderer, batch_timeout_s=3600.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with Cluster.spawn(cluster_config(), chaincodes=CHAINCODES) as cluster:
+        yield cluster
+
+
+@pytest.fixture()
+def transport(cluster):
+    with SocketTransport.connect(cluster.profile) as transport:
+        yield transport
+
+
+def record_call(device: str, sequence: int, temperature: int = 20) -> str:
+    return encode_call(
+        read_keys=[device],
+        write_keys=[device],
+        payload=reading_payload(device, temperature=temperature, sequence=sequence),
+        crdt=True,
+    )
+
+
+def test_every_node_answers_health_pings(cluster):
+    pongs = cluster.health_check()
+    assert set(pongs) == {"orderer", "Org1.peer0", "Org2.peer0"}
+    assert cluster.alive()
+
+
+def test_submit_commits_on_every_process_peer(cluster, transport):
+    contract = Gateway.connect(transport).get_contract("iot")
+    contract.submit("populate", json.dumps({"keys": ["dev-a"]}))
+
+    submitted = [
+        contract.submit_async("record", record_call("dev-a", i, 20 + i))
+        for i in range(5)
+    ]
+    statuses = [tx.commit_status() for tx in submitted]
+    assert all(status.succeeded for status in statuses)
+
+    # Ground truth from the peer processes themselves, not the mirrors.
+    height = transport.channel.anchor_peer.ledger.height
+    transport.wait_for_height(height, timeout_s=10)
+    infos = [transport.ledger_info(i) for i in range(2)]
+    assert infos[0]["fingerprint"] == infos[1]["fingerprint"]
+
+    # The client-side mirrors replayed the same chain byte-for-byte.
+    assert transport.channel.world_states_converged()
+    local = transport.channel.anchor_peer.ledger.state.fingerprint().hex()
+    assert local == infos[0]["fingerprint"]
+
+
+def test_crdt_merge_happens_across_process_boundaries(cluster, transport):
+    contract = Gateway.connect(transport).get_contract("iot")
+    contract.submit("populate", json.dumps({"keys": ["dev-merge"]}))
+
+    # Four concurrent read-modify-writes of one key, all in one block
+    # (max_message_count is 4): vanilla Fabric would MVCC-kill three; the
+    # CRDT merge keeps every reading.
+    submitted = [
+        contract.submit_async("record", record_call("dev-merge", i, 30 + i))
+        for i in range(4)
+    ]
+    assert all(tx.commit_status().succeeded for tx in submitted)
+
+    state = transport.channel.state_of("dev-merge")
+    temperatures = {r["temperature"] for r in state["tempReadings"]}
+    assert temperatures == {str(30 + i) for i in range(4)}
+
+
+def test_evaluate_reads_without_ordering(cluster, transport):
+    contract = Gateway.connect(transport).get_contract("iot")
+    contract.submit("populate", json.dumps({"keys": ["dev-read"]}))
+    height_before = transport.ledger_info(0)["height"]
+
+    result = contract.evaluate("read_device", json.dumps({"key": "dev-read"}))
+    assert result["deviceID"] == "dev-read"
+    # Reads are never ordered: no block was cut by the evaluation.
+    assert transport.ledger_info(0)["height"] == height_before
+
+
+def test_block_events_stream_over_sockets_with_resume(cluster, transport):
+    gateway = Gateway.connect(transport)
+    contract = gateway.get_contract("voting")
+
+    live = gateway.block_events(start_block=0)
+    for i in range(4):
+        contract.submit_async("vote", "election", "apple", f"voter{i}")
+    transport.flush()
+    transport.wait_for_height(transport.channel.anchor_peer.ledger.height)
+    transport.pump()
+
+    seen = list(live)
+    assert seen, "live stream saw no blocks"
+    checkpoint = live.checkpoint()
+    live.close()
+
+    # More blocks commit while the consumer is down...
+    for i in range(4):
+        contract.submit_async("vote", "election", "banana", f"voter{4 + i}")
+    transport.flush()
+    transport.pump()
+
+    # ...and the resumed stream replays exactly the missed ones.
+    resumed = gateway.block_events(checkpoint=checkpoint)
+    replayed = list(resumed)
+    resumed.close()
+    assert replayed
+    first_new = replayed[0].block_number
+    assert first_new == seen[-1].block_number + 1
+    numbers = [event.block_number for event in replayed]
+    assert numbers == sorted(numbers)
+
+
+def test_contract_events_arrive_from_remote_commits(cluster, transport):
+    gateway = Gateway.connect(transport)
+    contract = gateway.get_contract("voting")
+
+    stream = contract.contract_events(event_name="voted")
+    submitted = [
+        contract.submit_async("vote", "tally-test", option, f"cv{i}")
+        for i, option in enumerate(["apple", "banana", "apple"])
+    ]
+    assert all(tx.commit_status().succeeded for tx in submitted)
+    transport.pump()
+
+    events = list(stream)
+    stream.close()
+    options = [event.payload["option"] for event in events]
+    assert sorted(options) == ["apple", "apple", "banana"]
+
+    tally = contract.evaluate("tally", "tally-test")
+    assert tally == {"apple": 2, "banana": 1}
+
+
+def test_sqlite_backend_cluster_converges():
+    config = cluster_config(state_backend="sqlite")
+    with Cluster.spawn(config, chaincodes=CHAINCODES[:1]) as cluster:
+        with SocketTransport.connect(cluster.profile) as transport:
+            contract = Gateway.connect(transport).get_contract("iot")
+            contract.submit("populate", json.dumps({"keys": ["dev-sql"]}))
+            tx = contract.submit_async("record", record_call("dev-sql", 0))
+            assert tx.commit_status().succeeded
+            transport.wait_for_height(transport.channel.anchor_peer.ledger.height)
+            infos = [transport.ledger_info(i) for i in range(2)]
+            assert infos[0]["fingerprint"] == infos[1]["fingerprint"]
+            assert (
+                transport.channel.anchor_peer.ledger.state.fingerprint().hex()
+                == infos[0]["fingerprint"]
+            )

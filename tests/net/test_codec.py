@@ -1,0 +1,119 @@
+"""Property tests: frame encode/decode is an exact, typed-failure codec.
+
+A server's accept loop survives on two invariants: every well-formed byte
+stream round-trips exactly (any chunking), and every malformed stream
+raises a *typed* :class:`FrameError` — never a bare exception the loop
+would have to guess about, never silent garbage.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.serialization import from_bytes
+from repro.net.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER_BYTES,
+    MAGIC,
+    FrameCorrupt,
+    FrameDecoder,
+    FrameError,
+    FrameTooLarge,
+    FrameTruncated,
+    encode_frame,
+    encode_message,
+)
+
+payloads = st.lists(st.binary(max_size=200), max_size=10)
+
+
+@given(payloads=payloads, chunk_size=st.integers(1, 23))
+@settings(max_examples=100, deadline=None)
+def test_frames_round_trip_under_any_chunking(payloads, chunk_size):
+    stream = b"".join(encode_frame(payload) for payload in payloads)
+    decoder = FrameDecoder()
+    decoded = []
+    for start in range(0, len(stream), chunk_size):
+        decoded.extend(decoder.feed(stream[start : start + chunk_size]))
+    decoder.eof()
+    assert decoded == payloads
+    assert decoder.buffered == 0
+
+
+@given(message=st.recursive(
+    st.none() | st.booleans() | st.integers(-(10**9), 10**9)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+))
+@settings(max_examples=100, deadline=None)
+def test_encode_message_payload_is_canonical_json(message):
+    frame = encode_message(message)
+    assert frame[: len(MAGIC)] == MAGIC
+    payload = frame[HEADER_BYTES:]
+    assert len(payload) == int.from_bytes(frame[len(MAGIC) : HEADER_BYTES], "big")
+    assert from_bytes(payload) == message
+
+
+@given(garbage=st.binary(min_size=HEADER_BYTES, max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_garbage_raises_typed_error_never_crashes(garbage):
+    decoder = FrameDecoder(max_frame_bytes=1024)
+    try:
+        decoder.feed(garbage)
+        decoder.eof()
+    except FrameError:
+        pass  # typed failure is the contract; anything else propagates
+
+
+def test_bad_magic_is_corrupt():
+    decoder = FrameDecoder()
+    with pytest.raises(FrameCorrupt):
+        decoder.feed(b"XX" + b"\x00\x00\x00\x01a")
+
+
+def test_oversized_declaration_is_too_large():
+    decoder = FrameDecoder(max_frame_bytes=16)
+    with pytest.raises(FrameTooLarge):
+        decoder.feed(MAGIC + (17).to_bytes(4, "big"))
+
+
+def test_eof_mid_frame_is_truncated():
+    decoder = FrameDecoder()
+    frame = encode_frame(b"hello")
+    decoder.feed(frame[:-2])
+    with pytest.raises(FrameTruncated):
+        decoder.eof()
+
+
+def test_decoder_is_poisoned_after_an_error():
+    decoder = FrameDecoder()
+    with pytest.raises(FrameCorrupt):
+        decoder.feed(b"ZZ\x00\x00\x00\x00")
+    # The stream cannot be resynchronized: valid frames no longer help.
+    with pytest.raises(FrameCorrupt):
+        decoder.feed(encode_frame(b"fine"))
+
+
+def test_partial_header_is_not_an_error_until_eof():
+    decoder = FrameDecoder()
+    assert decoder.feed(MAGIC) == []
+    assert decoder.buffered == len(MAGIC)
+    with pytest.raises(FrameTruncated):
+        decoder.eof()
+
+
+def test_payload_over_u32_is_rejected_at_encode_time():
+    class HugeLen(bytes):
+        def __len__(self):
+            return 0x1_0000_0000
+
+    with pytest.raises(FrameTooLarge):
+        encode_frame(HugeLen())
+
+
+def test_default_cap_is_generous_but_bounded():
+    assert DEFAULT_MAX_FRAME_BYTES == 32 * 1024 * 1024

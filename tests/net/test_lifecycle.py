@@ -1,0 +1,74 @@
+"""Lifecycle: ``close()`` and context-manager support across the stack.
+
+Every layer that owns resources — channel deliver sessions, state-store
+handles, socket connections — must release them on ``close()``, support
+``with``-statement usage, and tolerate double-close.  SQLite state
+backends make leaks observable: an unclosed connection keeps the database
+file locked.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.common.config import fabric_config, fabriccrdt_config
+from repro.core.network import crdt_network, vanilla_network
+from repro.fabric.store.sqlite import SqliteStore
+from repro.gateway.gateway import Gateway
+from repro.workload.iot import IoTChaincode
+
+
+def test_local_network_close_shuts_the_deliver_session():
+    network = crdt_network()
+    session = network.channel._deliver_session
+    assert not session.closed
+    network.close()
+    assert session.closed
+    network.close()  # double close is a no-op, not an error
+
+
+def test_local_network_is_a_context_manager():
+    with vanilla_network() as network:
+        network.deploy(IoTChaincode())
+        contract = Gateway.connect(network).get_contract("iot")
+        contract.submit("populate", json.dumps({"keys": ["dev-ctx"]}))
+        session = network.channel._deliver_session
+        assert not session.closed
+    assert session.closed
+
+
+def test_gateway_is_a_context_manager_over_its_transport():
+    network = crdt_network()
+    network.deploy(IoTChaincode())
+    with Gateway.connect(network) as gateway:
+        contract = gateway.get_contract("iot")
+        contract.submit("populate", json.dumps({"keys": ["dev-gw"]}))
+    assert network.channel._deliver_session.closed
+    network.close()  # already closed via the gateway; still a no-op
+
+
+def test_close_releases_sqlite_state_stores(tmp_path):
+    config = fabriccrdt_config(state_backend="sqlite", state_dir=str(tmp_path))
+    with crdt_network(config) as network:
+        network.deploy(IoTChaincode())
+        contract = Gateway.connect(network).get_contract("iot")
+        contract.submit("populate", json.dumps({"keys": ["dev-sql"]}))
+        anchor = network.peers[0]
+        db_path = anchor.ledger.state.path
+        fingerprint = anchor.ledger.state.fingerprint()
+    # After close, reopening the same file directly sees the committed
+    # state — nothing was held open or lost in a dangling connection.
+    reopened = SqliteStore(db_path)
+    try:
+        assert reopened.get("dev-sql") is not None
+        assert reopened.fingerprint() == fingerprint
+    finally:
+        reopened.close()
+
+
+def test_transport_context_manager_closes_channel():
+    network = vanilla_network(fabric_config())
+    transport = network.transport
+    with transport:
+        pass
+    assert network.channel._deliver_session.closed

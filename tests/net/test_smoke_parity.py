@@ -1,0 +1,32 @@
+"""The distributed runtime's correctness bar: fingerprint parity.
+
+The same seeded workload runs twice — once on the in-process
+:class:`LocalNetwork`, once against a multi-process cluster over sockets
+— and every peer's committed world-state fingerprint, ledger height, and
+per-transaction status must be *identical*.  This is what makes the
+socket transport a faithful deployment of the protocol rather than a
+lookalike.
+"""
+
+from __future__ import annotations
+
+from repro.net.smoke import run_parity_smoke
+
+
+def test_crdt_workload_has_fingerprint_parity_across_processes():
+    report = run_parity_smoke(transactions=30, max_message_count=10)
+    assert report.passed, report.format()
+    assert report.local.fingerprints == report.remote.fingerprints
+    assert report.local.heights == report.remote.heights
+    assert report.local.statuses == report.remote.statuses
+
+
+def test_vanilla_workload_parity_includes_mvcc_conflicts():
+    # conflict-heavy + CRDT off: some transactions MVCC-fail, and the
+    # *pattern* of failures must match the in-process run exactly too.
+    report = run_parity_smoke(
+        transactions=30, max_message_count=10, crdt_enabled=False
+    )
+    assert report.passed, report.format()
+    codes = set(report.remote.statuses.values())
+    assert len(codes) > 1, "expected a mix of VALID and MVCC conflicts"

@@ -1,0 +1,317 @@
+"""Property tests: every wire structure round-trips exactly.
+
+``decode(encode(x)) == x`` per message type is load-bearing, not hygiene:
+peers recompute block data hashes from *decoded* envelopes, so a codec
+that loses one bit anywhere breaks the hash chain at the first committed
+block.  Decoders must also fail typed (:class:`WireError`) on malformed
+input, because servers answer a bad message with an error frame instead
+of dying.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import (
+    RangeQueryInfo,
+    ReadItem,
+    ReadWriteSet,
+    ValidationCode,
+    Version,
+    WriteItem,
+)
+from repro.fabric.block import Block, BlockMetadata, CommittedBlock
+from repro.fabric.identity import SignedPayload
+from repro.fabric.policy import OutOf, Principal, or_policy
+from repro.fabric.transaction import (
+    ChaincodeEvent,
+    EndorsementFailure,
+    Proposal,
+    ProposalResponse,
+    TransactionEnvelope,
+)
+from repro.net.wire import (
+    WireError,
+    dec_block,
+    dec_committed_block,
+    dec_endorsement_failure,
+    dec_envelope,
+    dec_metadata,
+    dec_policy,
+    dec_proposal,
+    dec_proposal_response,
+    dec_rwset,
+    dec_version,
+    enc_block,
+    enc_committed_block,
+    enc_endorsement_failure,
+    enc_envelope,
+    enc_metadata,
+    enc_policy,
+    enc_proposal,
+    enc_proposal_response,
+    enc_rwset,
+    enc_version,
+    message_type,
+)
+
+# -- strategies ---------------------------------------------------------------
+
+names = st.text(alphabet="OrgPeerclient0123456789._-", min_size=1, max_size=16)
+keys = st.text(alphabet="abcdevice/0123456789-", min_size=1, max_size=20)
+payload_bytes = st.binary(max_size=64)
+versions = st.builds(Version, st.integers(0, 10**6), st.integers(0, 10**4))
+finite_floats = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+policy_nodes = st.recursive(
+    st.builds(Principal, names),
+    lambda children: st.lists(children, min_size=1, max_size=3).flatmap(
+        lambda rules: st.integers(1, len(rules)).map(
+            lambda threshold: OutOf(threshold, tuple(rules))
+        )
+    ),
+    max_leaves=6,
+)
+
+read_items = st.builds(ReadItem, key=keys, version=st.none() | versions)
+write_items = st.one_of(
+    # Regular or CRDT write: non-delete, any value.
+    st.builds(
+        WriteItem,
+        key=keys,
+        value=payload_bytes,
+        is_delete=st.just(False),
+        is_crdt=st.booleans(),
+    ),
+    # Delete: empty value, never CRDT (WriteItem's own invariants).
+    st.builds(
+        WriteItem,
+        key=keys,
+        value=st.just(b""),
+        is_delete=st.just(True),
+        is_crdt=st.just(False),
+    ),
+)
+range_queries = st.builds(
+    RangeQueryInfo, start_key=keys, end_key=keys, results_hash=st.binary(min_size=32, max_size=32)
+)
+rwsets = st.builds(
+    ReadWriteSet,
+    reads=st.lists(read_items, max_size=4).map(tuple),
+    writes=st.lists(write_items, max_size=4).map(tuple),
+    range_queries=st.lists(range_queries, max_size=2).map(tuple),
+)
+
+signed_payloads = st.builds(
+    SignedPayload,
+    payload_hash=st.binary(min_size=32, max_size=32),
+    signer=names,
+    signature=st.binary(min_size=32, max_size=32),
+)
+
+json_values = st.none() | st.booleans() | st.integers(-100, 100) | st.text(max_size=12)
+events = st.none() | st.builds(
+    ChaincodeEvent, name=names, payload=st.dictionaries(keys, json_values, max_size=3)
+)
+
+proposals = st.builds(
+    Proposal,
+    tx_id=names,
+    channel=names,
+    chaincode=names,
+    function=names,
+    args=st.lists(st.text(max_size=30), max_size=3).map(tuple),
+    creator=names,
+    policy=policy_nodes,
+    submit_time=finite_floats,
+)
+
+proposal_responses = st.builds(
+    ProposalResponse,
+    tx_id=names,
+    endorser=names,
+    rwset=rwsets,
+    chaincode_result=payload_bytes,
+    endorsement=signed_payloads,
+    event=events,
+)
+
+envelopes = st.builds(
+    TransactionEnvelope,
+    proposal=proposals,
+    rwset=rwsets,
+    endorsements=st.lists(signed_payloads, min_size=1, max_size=3).map(tuple),
+    chaincode_result=payload_bytes,
+    client_signature=st.none() | signed_payloads,
+    event=events,
+)
+
+
+@st.composite
+def blocks(draw):
+    transactions = tuple(draw(st.lists(envelopes, max_size=3)))
+    return Block.build(
+        number=draw(st.integers(0, 10**6)),
+        previous_hash=draw(st.binary(min_size=32, max_size=32)),
+        transactions=transactions,
+        cut_reason=draw(st.sampled_from(["count", "bytes", "timeout", "flush"])),
+        cut_time=draw(finite_floats),
+    )
+
+
+@st.composite
+def committed_blocks(draw):
+    block = draw(blocks())
+    flags = [
+        draw(st.sampled_from(list(ValidationCode))) for _ in block.transactions
+    ]
+    effective = None
+    if draw(st.booleans()):
+        effective = tuple(
+            (index, write)
+            for index, tx in enumerate(block.transactions)
+            for write in tx.rwset.writes
+        )
+    return CommittedBlock(
+        block=block,
+        metadata=BlockMetadata(block_num=block.number, flags=flags),
+        commit_time=draw(finite_floats),
+        effective_writes=effective,
+    )
+
+
+# -- round trips --------------------------------------------------------------
+
+
+@given(version=st.none() | versions)
+@settings(max_examples=100, deadline=None)
+def test_version_round_trip(version):
+    assert dec_version(enc_version(version)) == version
+
+
+@given(node=policy_nodes)
+@settings(max_examples=100, deadline=None)
+def test_policy_round_trip(node):
+    assert dec_policy(enc_policy(node)) == node
+
+
+def test_wrapped_policy_canonicalizes_to_its_expression():
+    from repro.fabric.policy import EndorsementPolicy
+
+    wrapped = EndorsementPolicy(or_policy("Org1", "Org2"))
+    assert dec_policy(enc_policy(wrapped)) == wrapped.expression
+
+
+@given(rwset=rwsets)
+@settings(max_examples=100, deadline=None)
+def test_rwset_round_trip(rwset):
+    assert dec_rwset(enc_rwset(rwset)) == rwset
+
+
+@given(proposal=proposals)
+@settings(max_examples=100, deadline=None)
+def test_proposal_round_trip(proposal):
+    assert dec_proposal(enc_proposal(proposal)) == proposal
+
+
+@given(response=proposal_responses)
+@settings(max_examples=100, deadline=None)
+def test_proposal_response_round_trip(response):
+    assert dec_proposal_response(enc_proposal_response(response)) == response
+
+
+@given(
+    failure=st.builds(
+        EndorsementFailure,
+        tx_id=names,
+        endorser=names,
+        reason=st.text(max_size=40),
+        chaincode_error=st.none() | st.text(max_size=40),
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_endorsement_failure_round_trip(failure):
+    assert dec_endorsement_failure(enc_endorsement_failure(failure)) == failure
+
+
+@given(envelope=envelopes)
+@settings(max_examples=50, deadline=None)
+def test_envelope_round_trip(envelope):
+    assert dec_envelope(enc_envelope(envelope)) == envelope
+
+
+@given(block=blocks())
+@settings(max_examples=25, deadline=None)
+def test_block_round_trip_preserves_integrity(block):
+    decoded = dec_block(enc_block(block))
+    assert decoded == block
+    # The far side recomputes the data hash from decoded envelopes: a
+    # lossy codec would fail here even if equality somehow held.
+    assert decoded.verify_integrity()
+
+
+@given(metadata=st.builds(
+    BlockMetadata,
+    block_num=st.integers(0, 10**6),
+    flags=st.lists(st.sampled_from(list(ValidationCode)), max_size=5),
+))
+@settings(max_examples=100, deadline=None)
+def test_metadata_round_trip(metadata):
+    decoded = dec_metadata(enc_metadata(metadata))
+    assert decoded.block_num == metadata.block_num
+    assert list(decoded.flags) == list(metadata.flags)
+
+
+@given(committed=committed_blocks())
+@settings(max_examples=25, deadline=None)
+def test_committed_block_round_trip(committed):
+    decoded = dec_committed_block(enc_committed_block(committed))
+    assert decoded.block == committed.block
+    assert list(decoded.metadata.flags) == list(committed.metadata.flags)
+    assert decoded.commit_time == committed.commit_time
+    assert decoded.writes_applied() == committed.writes_applied()
+
+
+# -- strictness ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "decoder, bad",
+    [
+        (dec_proposal, {}),
+        (dec_proposal, {"tx_id": "t"}),
+        (dec_rwset, {"reads": []}),
+        (dec_rwset, "not an object"),
+        (dec_envelope, {"proposal": {}}),
+        (dec_policy, {"neither": 1}),
+        (dec_policy, {"out_of": {"threshold": "x", "rules": []}}),
+        (dec_block, {"header": {}}),
+        (dec_committed_block, {"block": {}}),
+        (dec_metadata, {"block_num": 1, "flags": ["NOT_A_CODE"]}),
+    ],
+)
+def test_malformed_input_raises_wire_error(decoder, bad):
+    with pytest.raises(WireError):
+        decoder(bad)
+
+
+def test_proposal_args_must_be_strings():
+    proposal = enc_proposal(
+        Proposal(
+            tx_id="t", channel="c", chaincode="cc", function="f",
+            args=("a",), creator="cl", policy=Principal("Org1"),
+        )
+    )
+    proposal["args"] = [1, 2]
+    with pytest.raises(WireError):
+        dec_proposal(proposal)
+
+
+def test_message_type_rejects_unknown_tags():
+    assert message_type({"type": "ping"}) == "ping"
+    with pytest.raises(WireError):
+        message_type({"type": "launch_missiles"})
+    with pytest.raises(WireError):
+        message_type({})
