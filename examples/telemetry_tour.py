@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Telemetry tour: lifecycle tracing + node metrics on both runtimes.
+
+Telemetry is opt-in and out-of-band — a run produces byte-identical
+deterministic metrics with or without it (CI enforces this against the
+golden smoke fingerprint).  This tour shows what you get when it is on:
+
+1. a discrete-event benchmark round records a span for every lifecycle
+   phase of every sampled transaction — submit, endorse, order, deliver,
+   validate, apply — on the *simulation* clock, and a metrics registry of
+   peer/orderer/store counters and histograms;
+2. the span tree of one transaction shows exactly where its latency went;
+3. the per-phase breakdown aggregates the same spans across the run;
+4. a multi-process cluster exposes each node's registry over the wire
+   ``metrics`` request — fetched here from live peer/orderer processes
+   and rendered as a Prometheus text page.
+
+Run:  python examples/telemetry_tour.py
+"""
+
+import dataclasses
+import json
+
+from repro.common.config import TopologyConfig, fabriccrdt_config
+from repro.telemetry import (
+    Span,
+    Telemetry,
+    complete_traces,
+    format_breakdown,
+    format_span_tree,
+    merge_snapshots,
+    phase_breakdown,
+)
+from repro.telemetry.export import render_prometheus
+from repro.workload.runner import Benchmark, Round
+from repro.workload.spec import WorkloadSpec
+
+
+def des_tour() -> None:
+    print("--- DES round with telemetry (spans on the simulation clock) ---")
+    spec = WorkloadSpec(total_transactions=40, rate_tps=150.0, seed=11)
+    report = Benchmark(
+        rounds=[Round(spec, fabriccrdt_config(max_message_count=10))],
+        telemetry=True,
+    ).run()
+    entry = report.telemetry[0]
+    spans = [Span.from_dict(data) for data in entry["spans"]]
+    complete = complete_traces(spans)
+    print(f"  {len(spans)} spans recorded, {len(complete)} transactions with "
+          f"all six phases\n")
+
+    print("--- one transaction's span tree (where did the latency go?) ---")
+    print(format_span_tree(spans, sorted(complete)[0]))
+    print()
+
+    print("--- per-phase latency breakdown over the whole round ---")
+    print(format_breakdown(phase_breakdown(spans)))
+    print()
+
+    print("--- a slice of the round's metrics registry, Prometheus-rendered ---")
+    page = render_prometheus(entry["metrics"])
+    wanted = ("repro_peer_mvcc_conflicts_total", "repro_orderer_blocks_cut_total")
+    for line in page.splitlines():
+        if line.startswith(wanted):
+            print(f"  {line}")
+    print()
+
+
+def socket_tour() -> None:
+    from repro.gateway import Gateway
+    from repro.net import Cluster, SocketTransport
+    from repro.workload.iot import encode_call, reading_payload
+
+    print("--- multi-process cluster with telemetry_enabled ---")
+    config = dataclasses.replace(
+        fabriccrdt_config(max_message_count=4),
+        topology=TopologyConfig(num_orgs=2, peers_per_org=1),
+        telemetry_enabled=True,
+    )
+    client_telemetry = Telemetry()
+    with Cluster.spawn(
+        config, chaincodes=["repro.workload.iot:IoTChaincode"]
+    ) as cluster:
+        with SocketTransport.connect(
+            cluster.profile, telemetry=client_telemetry
+        ) as transport:
+            contract = Gateway.connect(transport).get_contract("iot")
+            contract.submit("populate", json.dumps({"keys": ["sensor-1"]}))
+            for i in range(4):
+                contract.submit(
+                    "record",
+                    encode_call(
+                        read_keys=["sensor-1"],
+                        write_keys=["sensor-1"],
+                        payload=reading_payload("sensor-1", temperature=20 + i, sequence=i),
+                        crdt=True,
+                    ),
+                )
+
+            results = transport.cluster_metrics()
+            for node in sorted(results):
+                names = len(results[node]["snapshot"]["metrics"])
+                print(f"  {node:<12} telemetry enabled={results[node]['enabled']}, "
+                      f"{names} metric families over the wire")
+            merged = merge_snapshots(r["snapshot"] for r in results.values())
+            page = render_prometheus(merged)
+            wanted = ("repro_net_frames_total", "repro_store_batch_writes_total")
+            print("  cluster-wide merged registry (excerpt):")
+            for line in page.splitlines():
+                if line.startswith(wanted):
+                    print(f"    {line}")
+
+
+def main() -> None:
+    des_tour()
+    socket_tour()
+
+
+if __name__ == "__main__":
+    main()

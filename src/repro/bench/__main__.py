@@ -26,6 +26,7 @@ import json
 import sys
 import time
 
+from ..telemetry import merge_snapshots
 from ..workload.report import format_result_details
 from ..workload.reporter import JsonReporter, deterministic_fingerprint, golden_drift
 from ..workload.runner import Benchmark, Round
@@ -40,7 +41,9 @@ from .experiments import (
 )
 
 
-def _smoke_benchmark(scale: ExperimentScale, json_path: "str | None") -> "Benchmark":
+def _smoke_benchmark(
+    scale: ExperimentScale, json_path: "str | None", telemetry: bool = False
+) -> "Benchmark":
     """The CI smoke experiment as a declared two-round Benchmark."""
 
     spec = table1_spec(total_transactions=scale.transactions, seed=7)
@@ -54,6 +57,7 @@ def _smoke_benchmark(scale: ExperimentScale, json_path: "str | None") -> "Benchm
         ],
         cost=calibrated_cost_model(),
         reporter=JsonReporter(json_path) if json_path else None,
+        telemetry=telemetry,
     )
 
 
@@ -65,7 +69,7 @@ def _run_smoke(args: argparse.Namespace) -> int:
         state_backend=args.state_backend,
     )
     started = time.time()
-    report = _smoke_benchmark(scale, args.json).run()
+    report = _smoke_benchmark(scale, args.json, telemetry=args.telemetry).run()
     for result in report.results:
         print(format_result_details(result))
         print()
@@ -74,6 +78,24 @@ def _run_smoke(args: argparse.Namespace) -> int:
           f"{scale.state_backend} state backend]")
     if args.json:
         print(f"benchmark results written to {args.json}")
+    if args.telemetry:
+        from .telemetry import dump_round_telemetry, summarize_round_telemetry
+
+        incomplete = []
+        for index, entry in enumerate(report.telemetry):
+            print()
+            if not summarize_round_telemetry(entry, show_tree=index == 0):
+                incomplete.append(entry["label"])
+            if args.telemetry_dir:
+                for path in dump_round_telemetry(entry, args.telemetry_dir):
+                    print(f"telemetry artifact: {path}")
+        if incomplete:
+            print(
+                f"TELEMETRY: no complete lifecycle trace in round(s) "
+                f"{', '.join(incomplete)}",
+                file=sys.stderr,
+            )
+            return 1
     fingerprints = [deterministic_fingerprint(result) for result in report.results]
     if args.write_golden:
         with open(args.write_golden, "w", encoding="utf-8") as handle:
@@ -107,10 +129,39 @@ def _run_socket_smoke(args: argparse.Namespace) -> int:
         state_backend=args.state_backend,
         transactions=min(args.transactions, 300),
         seed=args.seed if args.seed else 7,
+        telemetry=args.telemetry,
     )
     print(report.format())
     print(f"[socket smoke: {time.time() - started:.1f}s wall clock, "
           f"{args.state_backend} state backend]")
+    if args.telemetry:
+        from .telemetry import dump_round_telemetry, summarize_round_telemetry
+
+        node_payloads = report.remote.telemetry or {}
+        entry = {
+            "label": f"parity-{report.backend}",
+            "metrics": merge_snapshots(
+                payload["snapshot"] for payload in node_payloads.values()
+            ),
+            "spans": [
+                span
+                for node in sorted(node_payloads)
+                for span in node_payloads[node].get("spans", [])
+            ],
+        }
+        print()
+        complete = summarize_round_telemetry(entry)
+        if args.telemetry_dir:
+            snapshots = {
+                node: payload["snapshot"] for node, payload in node_payloads.items()
+            }
+            for path in dump_round_telemetry(
+                entry, args.telemetry_dir, transport="socket", node_snapshots=snapshots
+            ):
+                print(f"telemetry artifact: {path}")
+        if not complete:
+            print("TELEMETRY: no complete lifecycle trace in socket run", file=sys.stderr)
+            return 1
     if args.json:
         payload = {
             "backend": report.backend,
@@ -163,6 +214,19 @@ def main(argv: list[str] | None = None) -> int:
         "fingerprint parity with an in-process run",
     )
     parser.add_argument("--json", metavar="PATH", help="also dump rows as JSON")
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="(smoke) collect lifecycle spans + node metrics out-of-band; "
+        "prints the per-phase latency breakdown (deterministic metrics are "
+        "byte-identical with or without this flag)",
+    )
+    parser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        help="(smoke --telemetry) write span/metric JSONL dumps and a "
+        "Prometheus text page per round under DIR",
+    )
     parser.add_argument(
         "--golden",
         metavar="PATH",

@@ -1,0 +1,81 @@
+"""Telemetry artifacts + console summaries for the bench CLI.
+
+``python -m repro.bench smoke --telemetry`` collects one
+``{"label", "metrics", "spans"}`` entry per round (see
+:class:`~repro.workload.runner.BenchmarkReport`); this module turns those
+entries into the on-disk artifacts CI uploads (span/metric JSONL dumps and
+a Prometheus text page) and the per-phase latency breakdown printed to the
+console.  Everything here runs *after* the measured run, on plain data —
+the instrumented pipeline never touches this module.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Mapping, Optional
+
+from ..telemetry import (
+    PHASES,
+    Span,
+    complete_traces,
+    format_breakdown,
+    format_span_tree,
+    phase_breakdown,
+)
+from ..telemetry.export import (
+    render_prometheus_nodes,
+    write_metrics_jsonl,
+    write_spans_jsonl,
+)
+
+
+def _slug(label: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", label)
+
+
+def dump_round_telemetry(
+    entry: dict,
+    out_dir: "str | Path",
+    transport: str = "des",
+    node_snapshots: Optional[Mapping[str, dict]] = None,
+) -> list[Path]:
+    """Write one round's artifacts; returns the paths written.
+
+    ``entry`` is a BenchmarkReport telemetry entry.  For socket runs pass
+    ``node_snapshots`` (per-process registries fetched over the wire) so
+    the Prometheus page carries a ``node`` label per process; DES rounds
+    have one in-process registry, exported under the ``sim`` node.
+    """
+
+    out = Path(out_dir)
+    prefix = f"{transport}_{_slug(entry['label'])}"
+    snapshots = dict(node_snapshots) if node_snapshots else {"sim": entry["metrics"]}
+    spans = [Span.from_dict(data) for data in entry["spans"]]
+    paths = [
+        write_spans_jsonl(out / f"{prefix}_spans.jsonl", spans),
+        write_metrics_jsonl(out / f"{prefix}_metrics.jsonl", snapshots),
+    ]
+    prom_path = out / f"{prefix}.prom"
+    prom_path.parent.mkdir(parents=True, exist_ok=True)
+    prom_path.write_text(render_prometheus_nodes(snapshots), encoding="utf-8")
+    paths.append(prom_path)
+    return paths
+
+
+def summarize_round_telemetry(entry: dict, show_tree: bool = True) -> bool:
+    """Print the round's phase breakdown (+ one sampled span tree).
+
+    Returns True when at least one trace covers all six lifecycle phases —
+    the smoke acceptance check for span completeness.
+    """
+
+    spans = [Span.from_dict(data) for data in entry["spans"]]
+    complete = complete_traces(spans)
+    print(f"telemetry[{entry['label']}]: {len(spans)} spans, "
+          f"{len(complete)} complete traces ({'/'.join(PHASES)})")
+    if spans:
+        print(format_breakdown(phase_breakdown(spans)))
+    if complete and show_tree:
+        print(format_span_tree(spans, sorted(complete)[0]))
+    return bool(complete)

@@ -96,6 +96,13 @@ class NetworkConfig:
     persistent indexed backend).  ``state_dir`` is where the sqlite backend
     keeps its per-peer database files; ``None`` uses private in-memory
     SQLite databases (the SQL code paths without the disk).
+
+    ``telemetry_enabled`` asks spawned cluster nodes to keep an in-process
+    :class:`~repro.telemetry.Telemetry` (lifecycle spans + metrics
+    registry) exposed over the wire ``metrics`` request.  It is advisory
+    and out-of-band: protocol behaviour and deterministic metrics are
+    identical either way.  (The DES runtime ignores it — there telemetry
+    is passed programmatically via ``SimulatedNetwork.enable_telemetry``.)
     """
 
     topology: TopologyConfig = field(default_factory=TopologyConfig)
@@ -105,6 +112,7 @@ class NetworkConfig:
     seed: int = 0
     state_backend: str = "memory"
     state_dir: Optional[str] = None
+    telemetry_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.state_backend not in STATE_BACKENDS:

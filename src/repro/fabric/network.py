@@ -126,6 +126,18 @@ class SimulatedNetwork:
     def policy_for(self, chaincode_name: str) -> EndorsementPolicy:
         return self.channel.policy_for(chaincode_name)
 
+    # -- telemetry (opt-in) ----------------------------------------------------------
+
+    def enable_telemetry(self, telemetry) -> None:
+        """Instrument this network into a :class:`~repro.telemetry.Telemetry`.
+
+        Lifecycle spans are recorded on the simulation clock; node metrics
+        (peer, orderer, state store) land in the context's registry.  The
+        run's protocol behaviour and deterministic metrics are unchanged.
+        """
+
+        self.transport.enable_telemetry(telemetry)
+
     # -- bootstrap (before the clock starts) ---------------------------------------------
 
     def bootstrap(

@@ -25,6 +25,7 @@ from typing import Any, Callable, Generator, Optional
 
 from ..sim.engine import Environment
 from ..sim.resources import Resource, Store
+from ..telemetry.lifecycle import record_phase
 from .costmodel import CostModel
 from .orderer import OrderingService
 from .peer import Peer
@@ -59,8 +60,15 @@ class PeerNode:
         self.proposal_box: Store = Store(env)
         self.block_box: Store = Store(env)
         self.endorse_pool = Resource(env, cost.endorsement_pool_size)
+        #: Telemetry context (set by the transport's ``enable_telemetry``).
+        #: Spans are recorded against ``env.now`` — the pipeline's timed
+        #: windows — never against wall clock; recording draws no RNG and
+        #: schedules no events, so simulated timings are unchanged.
+        self.telemetry = None
         #: Blocks received ahead of the chain tip, awaiting their gap.
         self._pending_blocks: dict[int, Any] = {}
+        #: Sim-time each pending block arrived (for deliver spans).
+        self._recv_times: dict[int, float] = {}
         #: Set by the network: callable(from_number, to_number) requesting
         #: redelivery of missed blocks (Fabric's deliver-service catch-up).
         self.request_catchup: Optional[Callable[[int, int], None]] = None
@@ -79,6 +87,7 @@ class PeerNode:
             self.env.process(self._handle_proposal(proposal, reply_box))
 
     def _handle_proposal(self, proposal: Proposal, reply_box: Store) -> Generator:
+        arrived = self.env.now
         request = self.endorse_pool.request()
         yield request
         try:
@@ -94,6 +103,11 @@ class PeerNode:
                 yield self.env.timeout(service)
         finally:
             self.endorse_pool.release(request)
+        # Endorse span: proposal arrival (incl. pool queueing) -> service end.
+        record_phase(
+            self.telemetry, "endorse", proposal.tx_id, arrived, self.env.now,
+            node=self.name, ok=isinstance(outcome, ProposalResponse),
+        )
         send_after(self.env, reply_box, outcome, self.cost.peer_to_client.sample(self.rng))
 
     # -- commit pipeline ----------------------------------------------------------
@@ -113,6 +127,8 @@ class PeerNode:
             if block.number < height:
                 continue  # duplicate redelivery
             self._pending_blocks.setdefault(block.number, block)
+            if self.telemetry is not None:
+                self._recv_times.setdefault(block.number, self.env.now)
             if block.number > height and self.request_catchup is not None:
                 missing_from = height
                 missing_to = min(
@@ -120,12 +136,35 @@ class PeerNode:
                 )
                 self.request_catchup(missing_from, missing_to)
             while self.peer.ledger.height in self._pending_blocks:
-                ready = self._pending_blocks.pop(self.peer.ledger.height)
+                number = self.peer.ledger.height
+                ready = self._pending_blocks.pop(number)
+                received = self._recv_times.pop(number, self.env.now)
+                validate_start = self.env.now
                 prepared = self.peer.prepare_block(ready)
                 service = self.cost.commit_time(prepared.work)
                 if service > 0:
                     yield self.env.timeout(service)
                 self.peer.apply_prepared(prepared, commit_time=self.env.now)
+                if self.telemetry is not None:
+                    # Deliver: block receipt -> commit pipeline pickup;
+                    # validate: the commit service window (work computed at
+                    # its start, state visible at its end); apply: atomic at
+                    # the window's end, hence zero-width in virtual time.
+                    committed_at = self.env.now
+                    for tx_index, tx in enumerate(ready.transactions):
+                        record_phase(
+                            self.telemetry, "deliver", tx.tx_id,
+                            received, validate_start, node=self.name, block=number,
+                        )
+                        record_phase(
+                            self.telemetry, "validate", tx.tx_id,
+                            validate_start, committed_at, node=self.name,
+                            code=prepared.metadata.code_for(tx_index).name,
+                        )
+                        record_phase(
+                            self.telemetry, "apply", tx.tx_id,
+                            committed_at, committed_at, node=self.name, block=number,
+                        )
 
 
 class OrdererNode:
@@ -150,6 +189,10 @@ class OrdererNode:
         self._peer_nodes: list[PeerNode] = []
         self._timer_epoch = -1
         self.archive: dict[int, Any] = {}
+        #: Telemetry context (set by the transport's ``enable_telemetry``).
+        self.telemetry = None
+        #: Arrival sim-time of sampled envelopes awaiting their block cut.
+        self._arrivals: dict[str, float] = {}
         env.process(self._loop())
 
     def attach_peer(self, node: PeerNode) -> None:
@@ -171,6 +214,10 @@ class OrdererNode:
     def _loop(self) -> Generator:
         while True:
             envelope = yield self.envelope_box.get()
+            if self.telemetry is not None and self.telemetry.tracer.sampled(
+                envelope.tx_id
+            ):
+                self._arrivals[envelope.tx_id] = self.env.now
             for block in self.service.submit(envelope, self.env.now):
                 self._dispatch(block)
             self._ensure_timer()
@@ -196,6 +243,15 @@ class OrdererNode:
 
     def _dispatch(self, block) -> None:
         self.archive[block.number] = block
+        if self.telemetry is not None:
+            # Order span: envelope arrival -> the cut that includes it.
+            for tx in block.transactions:
+                arrived = self._arrivals.pop(tx.tx_id, None)
+                if arrived is not None:
+                    record_phase(
+                        self.telemetry, "order", tx.tx_id, arrived, self.env.now,
+                        block=block.number, cut_reason=block.cut_reason,
+                    )
         for node in self._peer_nodes:
             send_after(
                 self.env, node.block_box, block, self.cost.orderer_to_peer.sample(self.rng)

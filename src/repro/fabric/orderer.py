@@ -38,6 +38,40 @@ class OrderingService:
         #: Time the current batch started (first pending tx), None if empty.
         self.batch_start_time: Optional[float] = None
         self.stats = Counterstats()
+        self._tel: Optional[dict] = None
+
+    def enable_telemetry(self, telemetry) -> None:
+        """Register batch-fill / cut-reason metrics (opt-in, out-of-band).
+
+        Recording is pure counter arithmetic at points the service already
+        passes through — ordering decisions and block content are
+        untouched.
+        """
+
+        from ..telemetry.metrics import DEFAULT_COUNT_BUCKETS
+
+        metrics = telemetry.metrics
+        self._tel = {
+            "envelopes": metrics.counter(
+                "repro_orderer_envelopes_total", "Envelopes admitted to the total order"
+            ),
+            "blocks_cut": metrics.counter(
+                "repro_orderer_blocks_cut_total", "Blocks cut, by trigger reason"
+            ),
+            "batch_fill": metrics.histogram(
+                "repro_orderer_batch_fill",
+                "Transactions per cut block",
+                buckets=DEFAULT_COUNT_BUCKETS,
+            ),
+            "batch_bytes": metrics.histogram(
+                "repro_orderer_batch_bytes",
+                "Payload bytes per cut block",
+                buckets=(1e3, 1e4, 1e5, 1e6, 1e7, 1e8),
+            ),
+            "pending": metrics.gauge(
+                "repro_orderer_pending_txs", "Transactions waiting in the current batch"
+            ),
+        }
 
     # -- state ---------------------------------------------------------------
 
@@ -106,6 +140,9 @@ class OrderingService:
             self.batch_start_time = now
         self._pending.append(envelope)
         self._pending_bytes += size
+        if self._tel is not None:
+            self._tel["envelopes"].inc()
+            self._tel["pending"].set(len(self._pending))
 
     # -- cutting ---------------------------------------------------------------
 
@@ -131,6 +168,7 @@ class OrderingService:
         if not self._pending:
             raise OrderingError("cut with no pending transactions")
         transactions = tuple(self._pending)
+        batch_bytes = self._pending_bytes
         self._pending = []
         self._pending_bytes = 0
         self.batch_start_time = None
@@ -146,4 +184,9 @@ class OrderingService:
         self._last_hash = block.header.hash()
         self.stats.bump("blocks_cut")
         self.stats.bump(f"blocks_cut_{reason}")
+        if self._tel is not None:
+            self._tel["blocks_cut"].inc(reason=reason)
+            self._tel["batch_fill"].observe(len(transactions))
+            self._tel["batch_bytes"].observe(batch_bytes)
+            self._tel["pending"].set(0)
         return block

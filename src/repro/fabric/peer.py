@@ -26,6 +26,7 @@ FabricCRDT plugs in via :meth:`Peer._plan_crdt_merge`, which the subclass in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Optional, Union
 
 from ..common.hashing import sha256
@@ -128,6 +129,9 @@ class Peer:
         self.events = EventHub(self.name)
         self.stats = Counterstats()
         self.last_commit_work: Optional[CommitWork] = None
+        #: Telemetry context (``None`` = off; see :meth:`enable_telemetry`).
+        self.telemetry = None
+        self._tel: Optional[dict] = None
 
     @property
     def name(self) -> str:
@@ -138,6 +142,67 @@ class Peer:
         return self.identity.org.name
 
     # ------------------------------------------------------------------
+    # Telemetry (opt-in, out-of-band)
+    # ------------------------------------------------------------------
+
+    def enable_telemetry(self, telemetry) -> None:
+        """Instrument this peer into ``telemetry``'s metrics registry.
+
+        Registers endorse/validate/merge/apply wall-clock histograms plus
+        MVCC-conflict, per-code validation, and decode-cache counters, and
+        wraps the world-state store in an
+        :class:`~repro.fabric.store.instrument.InstrumentedStore`.  All
+        measurements are real-machine ``perf_counter`` costs recorded out
+        of band — protocol behaviour and simulated timings are unchanged.
+        """
+
+        from .store.instrument import InstrumentedStore
+
+        self.telemetry = telemetry
+        metrics = telemetry.metrics
+        self._tel = {
+            "endorse_seconds": metrics.histogram(
+                "repro_peer_endorse_seconds",
+                "Chaincode simulation + endorsement signing latency",
+            ),
+            "validate_seconds": metrics.histogram(
+                "repro_peer_validate_seconds",
+                "Block validation latency (VSCC + MVCC + CRDT merge)",
+            ),
+            "merge_seconds": metrics.histogram(
+                "repro_peer_merge_seconds",
+                "CRDT merge-planning latency within block validation",
+            ),
+            "apply_seconds": metrics.histogram(
+                "repro_peer_apply_seconds",
+                "Prepared-commit application latency (state + ledger + events)",
+            ),
+            "proposals": metrics.counter(
+                "repro_peer_proposals_total", "Endorsement proposals, by outcome"
+            ),
+            "txs_validated": metrics.counter(
+                "repro_peer_txs_validated_total",
+                "Transactions validated at commit, by validation code",
+            ),
+            "mvcc_conflicts": metrics.counter(
+                "repro_peer_mvcc_conflicts_total",
+                "Transactions invalidated by MVCC or phantom read conflicts",
+            ),
+            "cache_hits": metrics.counter(
+                "repro_peer_decode_cache_hits_total",
+                "CRDT block-merge decode cache hits",
+            ),
+            "cache_misses": metrics.counter(
+                "repro_peer_decode_cache_misses_total",
+                "CRDT block-merge decode cache misses",
+            ),
+        }
+        if not isinstance(self.ledger.state, InstrumentedStore):
+            self.ledger.state = InstrumentedStore(
+                self.ledger.state, telemetry, node=self.name
+            )
+
+    # ------------------------------------------------------------------
     # Endorsement (Step 2 of Figure 1)
     # ------------------------------------------------------------------
 
@@ -146,6 +211,18 @@ class Peer:
     ) -> Union[ProposalResponse, EndorsementFailure]:
         """Simulate the proposal against local state and sign the result."""
 
+        if self._tel is None:
+            return self._endorse(proposal, timestamp)
+        started = perf_counter()
+        outcome = self._endorse(proposal, timestamp)
+        self._tel["endorse_seconds"].observe(perf_counter() - started, peer=self.name)
+        result = "endorsed" if isinstance(outcome, ProposalResponse) else "failed"
+        self._tel["proposals"].inc(peer=self.name, outcome=result)
+        return outcome
+
+    def _endorse(
+        self, proposal: Proposal, timestamp: float
+    ) -> Union[ProposalResponse, EndorsementFailure]:
         self.stats.bump("proposals_received")
         try:
             chaincode = self.chaincodes.get(proposal.chaincode)
@@ -187,11 +264,43 @@ class Peer:
     def prepare_block(self, block: Block) -> PreparedCommit:
         """Validate (and CRDT-merge, if applicable) a block without applying."""
 
+        if self._tel is None:
+            return self._prepare_block(block)
+        started = perf_counter()
+        prepared = self._prepare_block(block)
+        tel = self._tel
+        tel["validate_seconds"].observe(perf_counter() - started, peer=self.name)
+        conflicts = 0
+        for code in prepared.metadata.flags:
+            tel["txs_validated"].inc(peer=self.name, code=code.name)
+            if code in (
+                ValidationCode.MVCC_READ_CONFLICT,
+                ValidationCode.PHANTOM_READ_CONFLICT,
+            ):
+                conflicts += 1
+        if conflicts:
+            tel["mvcc_conflicts"].inc(conflicts, peer=self.name)
+        return prepared
+
+    def _prepare_block(self, block: Block) -> PreparedCommit:
         work = CommitWork(tx_count=len(block))
         metadata = BlockMetadata(block.number)
 
         precodes = self._precheck(block, work)
-        plan = self._plan_crdt_merge(block, precodes, work) or MergePlan()
+        if self._tel is None:
+            plan = self._plan_crdt_merge(block, precodes, work) or MergePlan()
+        else:
+            merge_started = perf_counter()
+            plan = self._plan_crdt_merge(block, precodes, work) or MergePlan()
+            self._tel["merge_seconds"].observe(
+                perf_counter() - merge_started, peer=self.name
+            )
+            self._tel["cache_hits"].inc(
+                int(plan.work.get("decode_cache_hits", 0)), peer=self.name
+            )
+            self._tel["cache_misses"].inc(
+                int(plan.work.get("decode_cache_misses", 0)), peer=self.name
+            )
 
         pending: dict[str, Optional[Version]] = {}
         effective: list[tuple[int, WriteItem]] = []
@@ -233,6 +342,14 @@ class Peer:
     def apply_prepared(self, prepared: PreparedCommit, commit_time: float = 0.0) -> CommittedBlock:
         """Apply a prepared commit: write state, append the block, publish."""
 
+        if self._tel is None:
+            return self._apply_prepared(prepared, commit_time)
+        started = perf_counter()
+        committed = self._apply_prepared(prepared, commit_time)
+        self._tel["apply_seconds"].observe(perf_counter() - started, peer=self.name)
+        return committed
+
+    def _apply_prepared(self, prepared: PreparedCommit, commit_time: float) -> CommittedBlock:
         block = prepared.block
         self.ledger.state.apply_batch(prepared.batch)
         committed = CommittedBlock(

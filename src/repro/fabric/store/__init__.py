@@ -22,6 +22,7 @@ from ...common.config import STATE_BACKENDS
 from ...common.errors import ConfigError
 from .base import EMPTY_FINGERPRINT, FINGERPRINT_BYTES, StateStore, VersionedValue, entry_digest
 from .batch import BatchWrite, WriteBatch
+from .instrument import InstrumentedStore
 from .memory import MemoryStore
 from .query import compile_selector
 from .sqlite import SqliteStore
@@ -49,6 +50,7 @@ __all__ = [
     "BatchWrite",
     "EMPTY_FINGERPRINT",
     "FINGERPRINT_BYTES",
+    "InstrumentedStore",
     "MemoryStore",
     "STATE_BACKENDS",
     "SqliteStore",

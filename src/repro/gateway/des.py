@@ -28,6 +28,7 @@ from ..fabric.policy import EndorsementPolicy
 from ..fabric.transaction import EndorsementFailure, Proposal, ProposalResponse
 from ..sim.engine import Environment
 from ..sim.resources import Store
+from ..telemetry.lifecycle import record_phase
 from .channel import Channel
 from .errors import CommitError, EndorseError
 from .transport import EndorsementFailureHook, SubmittedTransaction, Transport
@@ -63,6 +64,29 @@ class DESTransport(Transport):
         for node in self.peer_nodes:
             self.orderer_node.attach_peer(node)
         self._flow_rng = self._seeds.stream("flows")
+        #: Telemetry context (``None`` = off; see :meth:`enable_telemetry`).
+        self.telemetry = None
+
+    # -- telemetry (opt-in, out-of-band) -------------------------------------------
+
+    def enable_telemetry(self, telemetry) -> None:
+        """Wire a :class:`~repro.telemetry.Telemetry` context into the run.
+
+        Binds its clock to the simulation clock (spans carry virtual
+        seconds), hands the context to every timed node for lifecycle
+        spans, and instruments the protocol engines (peers, ordering) into
+        its metrics registry.  Nothing here draws RNG or schedules events,
+        so an instrumented run's deterministic metrics are byte-identical
+        to an uninstrumented one.
+        """
+
+        telemetry.bind_clock(lambda: self.env.now)
+        self.telemetry = telemetry
+        self.ordering.enable_telemetry(telemetry)
+        self.orderer_node.telemetry = telemetry
+        for node in self.peer_nodes:
+            node.telemetry = telemetry
+            node.peer.enable_telemetry(telemetry)
 
     # -- accessors -----------------------------------------------------------------
 
@@ -175,16 +199,31 @@ class DESTransport(Transport):
         if isinstance(assembled, EndorsementRoundFailure):
             if on_endorsement_failure is not None:
                 on_endorsement_failure(proposal.tx_id, self.env.now)
+            record_phase(
+                self.telemetry, "submit", proposal.tx_id,
+                proposal.submit_time, self.env.now,
+                node="client", outcome="endorse_failed",
+            )
             return assembled
         if assembled.envelope.rwset.is_read_only:
             # Read transactions are not ordered or committed (paper §3),
             # matching the synchronous transport.
+            record_phase(
+                self.telemetry, "submit", proposal.tx_id,
+                proposal.submit_time, self.env.now,
+                node="client", outcome="read_only",
+            )
             return assembled
         send_after(
             self.env,
             self.orderer_node.envelope_box,
             assembled.envelope,
             self.cost.client_to_orderer.sample(self._flow_rng),
+        )
+        # Submit span: proposal creation -> envelope handed to ordering.
+        record_phase(
+            self.telemetry, "submit", proposal.tx_id,
+            proposal.submit_time, self.env.now, node="client", outcome="ordered",
         )
         return assembled
 
@@ -284,7 +323,18 @@ class DESTransport(Transport):
             if isinstance(assembled, EndorsementRoundFailure):
                 if on_endorsement_failure is not None:
                     on_endorsement_failure(proposal.tx_id, self.env.now)
-            elif not assembled.envelope.rwset.is_read_only:
+                record_phase(
+                    self.telemetry, "submit", proposal.tx_id,
+                    proposal.submit_time, self.env.now,
+                    node="client", outcome="endorse_failed",
+                )
+            elif assembled.envelope.rwset.is_read_only:
+                record_phase(
+                    self.telemetry, "submit", proposal.tx_id,
+                    proposal.submit_time, self.env.now,
+                    node="client", outcome="read_only",
+                )
+            else:
                 envelopes.append(assembled.envelope)
             outcome.succeed(assembled)
         if envelopes:
@@ -292,6 +342,14 @@ class DESTransport(Transport):
             delay = self.cost.client_to_orderer.sample(self._flow_rng)
             for envelope in envelopes:
                 send_after(self.env, self.orderer_node.envelope_box, envelope, delay)
+            if self.telemetry is not None:
+                # The whole burst leaves the client at the same instant.
+                for envelope in envelopes:
+                    record_phase(
+                        self.telemetry, "submit", envelope.tx_id,
+                        envelope.proposal.submit_time, self.env.now,
+                        node="client", outcome="ordered",
+                    )
 
     def wait_for(self, tx: SubmittedTransaction) -> TxStatus:
         """Step the simulation until ``tx`` resolves on the anchor peer."""

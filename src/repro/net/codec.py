@@ -42,6 +42,50 @@ HEADER_BYTES = len(MAGIC) + 4
 DEFAULT_MAX_FRAME_BYTES = 32 * 1024 * 1024
 
 
+# ---------------------------------------------------------------------------
+# Optional codec metrics (telemetry, opt-in)
+# ---------------------------------------------------------------------------
+
+#: Installed ``(frames_counter, bytes_counter, labels)`` sinks.  Empty —
+#: the default — means counting is a single falsy check per frame.
+_metric_sinks: list[tuple[Any, Any, dict]] = []
+
+
+def install_codec_metrics(registry, node: str = "") -> tuple:
+    """Count frames/bytes through this process's codec into ``registry``.
+
+    ``registry`` is a :class:`~repro.telemetry.metrics.MetricsRegistry`
+    (duck-typed to keep this module free of telemetry imports).  Returns
+    an opaque handle for :func:`uninstall_codec_metrics`.  Counting is
+    out-of-band: frame content and flush behaviour are untouched.
+    """
+
+    frames = registry.counter(
+        "repro_net_frames_total", "Wire frames moved, by direction"
+    )
+    total_bytes = registry.counter(
+        "repro_net_bytes_total", "Wire bytes moved (headers included), by direction"
+    )
+    sink = (frames, total_bytes, {"node": node} if node else {})
+    _metric_sinks.append(sink)
+    return sink
+
+
+def uninstall_codec_metrics(handle: tuple) -> None:
+    """Remove a sink installed by :func:`install_codec_metrics`."""
+
+    try:
+        _metric_sinks.remove(handle)
+    except ValueError:
+        pass
+
+
+def _count_frame(direction: str, payload_bytes: int) -> None:
+    for frames, total_bytes, labels in _metric_sinks:
+        frames.inc(direction=direction, **labels)
+        total_bytes.inc(HEADER_BYTES + payload_bytes, direction=direction, **labels)
+
+
 class FrameError(FabricError):
     """Base class for framing failures."""
 
@@ -162,11 +206,14 @@ async def read_frame(
     if length > max_frame_bytes:
         raise FrameTooLarge(f"frame declares {length} bytes (cap {max_frame_bytes})")
     try:
-        return await reader.readexactly(length)
+        payload = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise FrameTruncated(
             f"stream ended inside a {length}-byte payload ({len(exc.partial)} read)"
         ) from None
+    if _metric_sinks:
+        _count_frame("in", length)
+    return payload
 
 
 async def read_message(
@@ -180,5 +227,8 @@ async def read_message(
 async def write_message(writer: asyncio.StreamWriter, message: Any) -> None:
     """Frame and send one message, draining the transport buffer."""
 
-    writer.write(encode_message(message))
+    data = encode_message(message)
+    if _metric_sinks:
+        _count_frame("out", len(data) - HEADER_BYTES)
+    writer.write(data)
     await writer.drain()

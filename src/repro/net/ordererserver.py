@@ -29,10 +29,18 @@ from typing import Optional
 
 from ..fabric.block import Block
 from ..fabric.orderer import OrderingService
-from .codec import FrameError, read_message, write_message
+from ..telemetry.lifecycle import record_phase
+from .codec import FrameError, install_codec_metrics, read_message, write_message
 from .errors import ConnectionClosed
 from .profile import config_from_dict
-from .wire import WireError, dec_envelope, enc_block, error_message, message_type
+from .wire import (
+    WireError,
+    dec_envelope,
+    enc_block,
+    error_message,
+    message_type,
+    metrics_result_message,
+)
 
 #: How often the batch-timeout watchdog checks the deadline.
 TIMEOUT_TICK_S = 0.05
@@ -48,13 +56,36 @@ class OrdererState:
         self.blocks: list[Block] = []
         #: Live deliver subscribers (queues of block numbers to send).
         self.subscribers: list[asyncio.Queue] = []
+        #: Telemetry (set when the config enables it) + envelope arrival
+        #: times of sampled transactions awaiting their block cut.
+        self.telemetry = None
+        self._arrivals: dict[str, float] = {}
 
     def now(self) -> float:
         return time.monotonic() - self.started
 
+    def enable_telemetry(self) -> None:
+        from ..telemetry import Telemetry
+
+        self.telemetry = Telemetry(clock=self.now)
+        self.service.enable_telemetry(self.telemetry)
+        install_codec_metrics(self.telemetry.metrics, node="orderer")
+
+    def note_arrival(self, tx_id: str) -> None:
+        if self.telemetry is not None and self.telemetry.tracer.sampled(tx_id):
+            self._arrivals[tx_id] = self.now()
+
     def publish(self, blocks: list[Block]) -> None:
         for block in blocks:
             self.blocks.append(block)
+            if self.telemetry is not None:
+                for tx in block.transactions:
+                    arrived = self._arrivals.pop(tx.tx_id, None)
+                    if arrived is not None:
+                        record_phase(
+                            self.telemetry, "order", tx.tx_id, arrived, self.now(),
+                            block=block.number, cut_reason=block.cut_reason,
+                        )
             for queue in list(self.subscribers):
                 queue.put_nowait(block.number)
 
@@ -125,6 +156,7 @@ async def _handle_connection(
                 except WireError as exc:
                     await write_message(writer, error_message(str(exc)))
                     continue
+                state.note_arrival(envelope.tx_id)
                 cut = state.service.submit(envelope, now=state.now())
                 state.publish(cut)
                 await write_message(
@@ -147,6 +179,10 @@ async def _handle_connection(
                         "blocks_cut": 0 if block is None else 1,
                         "next_block": state.service.next_block_number,
                     },
+                )
+            elif kind == "metrics":
+                await write_message(
+                    writer, metrics_result_message(state.telemetry, "orderer", message)
                 )
             elif kind == "deliver":
                 start = message.get("start_block", 0)
@@ -210,4 +246,6 @@ def orderer_process_main(config_dict: dict, port_conn) -> None:
 
     config = config_from_dict(config_dict)
     state = OrdererState(OrderingService(config.orderer))
+    if config.telemetry_enabled:
+        state.enable_telemetry()
     asyncio.run(_serve(state, port_conn))

@@ -32,7 +32,8 @@ from ..fabric.peer import Peer
 from ..fabric.store import StateStore, create_store
 from ..fabric.transaction import ProposalResponse
 from ..gateway.channel import NUM_CLIENTS
-from .codec import FrameError, read_message, write_message
+from ..telemetry.lifecycle import record_phase
+from .codec import FrameError, install_codec_metrics, read_message, write_message
 from .errors import ConnectionClosed, PeerUnreachableError
 from .profile import ClusterProfile, build_chaincode_registry, build_membership
 from .wire import (
@@ -44,6 +45,7 @@ from .wire import (
     enc_proposal_response,
     error_message,
     message_type,
+    metrics_result_message,
 )
 
 #: How long the follower keeps retrying the orderer before giving up.
@@ -82,14 +84,28 @@ def build_peer(profile: ClusterProfile, qualified_name: str) -> Peer:
 
 
 class PeerState:
-    """The server's handle on its peer plus the process clock."""
+    """The server's handle on its peer plus the process clock.
+
+    ``telemetry`` (set when the profile's config enables it) holds this
+    process's :class:`~repro.telemetry.Telemetry` bound to the same
+    monotonic-since-start clock as commit timestamps; the ``metrics`` wire
+    request exposes it to remote clients.
+    """
 
     def __init__(self, peer: Peer) -> None:
         self.peer = peer
         self.started = time.monotonic()
+        self.telemetry = None
 
     def now(self) -> float:
         return time.monotonic() - self.started
+
+    def enable_telemetry(self) -> None:
+        from ..telemetry import Telemetry
+
+        self.telemetry = Telemetry(clock=self.now)
+        self.peer.enable_telemetry(self.telemetry)
+        install_codec_metrics(self.telemetry.metrics, node=self.peer.name)
 
 
 async def _follow_orderer(state: PeerState, host: str, port: int) -> None:
@@ -126,7 +142,33 @@ async def _follow_orderer(state: PeerState, host: str, port: int) -> None:
                         f"orderer deliver stream sent {message.get('type')!r}"
                     )
                 block = dec_block(message.get("block"))
-                state.peer.validate_and_commit(block, commit_time=state.now())
+                if state.telemetry is None:
+                    state.peer.validate_and_commit(block, commit_time=state.now())
+                else:
+                    # Same pipeline, split so each stage's window is spanned:
+                    # deliver = socket receipt -> committer pickup (immediate
+                    # here — one event loop), validate = prepare_block,
+                    # apply = the WriteBatch commit.
+                    received = state.now()
+                    prepared = state.peer.prepare_block(block)
+                    validated = state.now()
+                    state.peer.apply_prepared(prepared, commit_time=validated)
+                    applied = state.now()
+                    name = state.peer.name
+                    for tx_index, tx in enumerate(block.transactions):
+                        record_phase(
+                            state.telemetry, "deliver", tx.tx_id,
+                            received, received, node=name, block=block.number,
+                        )
+                        record_phase(
+                            state.telemetry, "validate", tx.tx_id,
+                            received, validated, node=name,
+                            code=prepared.metadata.code_for(tx_index).name,
+                        )
+                        record_phase(
+                            state.telemetry, "apply", tx.tx_id,
+                            validated, applied, node=name, block=block.number,
+                        )
         except (ConnectionClosed, ConnectionError, OSError):
             writer.close()
             continue  # reconnect from the new height
@@ -197,7 +239,13 @@ async def _handle_connection(
                     await write_message(writer, error_message(str(exc)))
                     continue
                 timestamp = float(message.get("timestamp", 0.0))
+                arrived = state.now()
                 outcome = peer.endorse(proposal, timestamp)
+                record_phase(
+                    state.telemetry, "endorse", proposal.tx_id,
+                    arrived, state.now(), node=peer.name,
+                    ok=isinstance(outcome, ProposalResponse),
+                )
                 if isinstance(outcome, ProposalResponse):
                     await write_message(
                         writer,
@@ -225,6 +273,10 @@ async def _handle_connection(
                         "height": peer.ledger.height,
                         "fingerprint": peer.ledger.state.fingerprint().hex(),
                     },
+                )
+            elif kind == "metrics":
+                await write_message(
+                    writer, metrics_result_message(state.telemetry, peer.name, message)
                 )
             elif kind == "deliver":
                 start = message.get("start_block", 0)
@@ -281,4 +333,6 @@ def peer_process_main(
 
     profile = ClusterProfile.from_dict(profile_dict)
     state = PeerState(build_peer(profile, qualified_name))
+    if profile.config.telemetry_enabled:
+        state.enable_telemetry()
     asyncio.run(_serve(state, orderer_host, orderer_port, port_conn))

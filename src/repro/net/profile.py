@@ -137,6 +137,7 @@ def config_to_dict(config: NetworkConfig) -> dict:
         "seed": config.seed,
         "state_backend": config.state_backend,
         "state_dir": config.state_dir,
+        "telemetry_enabled": config.telemetry_enabled,
     }
 
 
@@ -150,6 +151,7 @@ def config_from_dict(data: dict) -> NetworkConfig:
             seed=data["seed"],
             state_backend=data["state_backend"],
             state_dir=data.get("state_dir"),
+            telemetry_enabled=data.get("telemetry_enabled", False),
         )
     except (KeyError, TypeError) as exc:
         raise WireError(f"malformed network config: {exc}") from exc

@@ -63,11 +63,17 @@ class Call:
 
 @dataclass
 class RunResult:
-    """What one run of the workload committed."""
+    """What one run of the workload committed.
+
+    ``telemetry`` (socket runs with telemetry enabled only) maps node name
+    -> ``metrics_result`` payload fetched over the wire — each node's
+    registry snapshot plus its lifecycle spans.
+    """
 
     heights: dict  # peer name -> chain height
     fingerprints: dict  # peer name -> state fingerprint (hex)
     statuses: dict  # tx_id -> validation code name
+    telemetry: Optional[dict] = None
 
 
 @dataclass
@@ -167,12 +173,29 @@ def run_local(config: NetworkConfig, calls: list[Call]) -> RunResult:
         )
 
 
-def run_socket(config: NetworkConfig, calls: list[Call]) -> RunResult:
-    """The same workload against real processes, wave-synchronized."""
+def run_socket(
+    config: NetworkConfig, calls: list[Call], telemetry: bool = False
+) -> RunResult:
+    """The same workload against real processes, wave-synchronized.
+
+    ``telemetry`` spawns the cluster with ``telemetry_enabled`` and gives
+    the client transport its own Telemetry; every node's registry + spans
+    are fetched over the wire (the ``metrics`` request) before teardown
+    and returned on the result.  Fingerprint parity must hold either way —
+    that equality is the proof the instrumentation is out-of-band.
+    """
 
     max_count = config.orderer.max_message_count
+    client_telemetry = None
+    if telemetry:
+        from ..telemetry import Telemetry
+
+        config = dataclasses.replace(config, telemetry_enabled=True)
+        client_telemetry = Telemetry()
     with Cluster.spawn(config, chaincodes=[IOT_CHAINCODE_SPEC]) as cluster:
-        with SocketTransport.connect(cluster.profile) as transport:
+        with SocketTransport.connect(
+            cluster.profile, telemetry=client_telemetry
+        ) as transport:
             submitted = []
             ordered = 0
             expected_height = 0
@@ -200,10 +223,14 @@ def run_socket(config: NetworkConfig, calls: list[Call]) -> RunResult:
                 transport.ledger_info(index)
                 for index in range(len(cluster.profile.peers))
             ]
+            node_telemetry = (
+                transport.cluster_metrics(include_spans=True) if telemetry else None
+            )
             return RunResult(
                 heights={info["peer"]: info["height"] for info in infos},
                 fingerprints={info["peer"]: info["fingerprint"] for info in infos},
                 statuses=statuses,
+                telemetry=node_telemetry,
             )
 
 
@@ -244,8 +271,14 @@ def run_parity_smoke(
     crdt_enabled: bool = True,
     max_message_count: int = 20,
     spec: Optional[WorkloadSpec] = None,
+    telemetry: bool = False,
 ) -> ParityReport:
-    """Run the workload both ways and compare committed state."""
+    """Run the workload both ways and compare committed state.
+
+    ``telemetry`` instruments the *socket* run only (cluster processes +
+    client); the local reference run stays bare.  Parity must still hold —
+    the report's remote result then carries per-node registries and spans.
+    """
 
     config = parity_config(
         state_backend=state_backend,
@@ -260,5 +293,5 @@ def run_parity_smoke(
     )
     calls = build_calls(resolved_spec)
     local = run_local(config, calls)
-    remote = run_socket(config, calls)
+    remote = run_socket(config, calls, telemetry=telemetry)
     return compare(state_backend, resolved_spec.total_transactions, local, remote)

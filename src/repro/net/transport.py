@@ -53,7 +53,8 @@ from ..gateway.transport import (
     SubmittedTransaction,
     Transport,
 )
-from .codec import read_message, write_message
+from ..telemetry.lifecycle import record_phase
+from .codec import install_codec_metrics, read_message, uninstall_codec_metrics, write_message
 from .errors import (
     CommitTimeoutError,
     ConnectionClosed,
@@ -182,11 +183,21 @@ class SocketTransport(Transport):
         profile: ClusterProfile,
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
         commit_timeout_s: float = DEFAULT_COMMIT_TIMEOUT_S,
+        telemetry=None,
     ) -> None:
         self.profile = profile
         self.channel = RemoteChannel(profile)
         self.request_timeout_s = request_timeout_s
         self.commit_timeout_s = commit_timeout_s
+        #: Client-side :class:`~repro.telemetry.Telemetry` (optional):
+        #: ``submit`` lifecycle spans on its own wall clock, plus frame
+        #: codec counters labelled ``node="client"``.
+        self.telemetry = telemetry
+        self._codec_handle = (
+            install_codec_metrics(telemetry.metrics, node="client")
+            if telemetry is not None
+            else None
+        )
         self._loop = asyncio.new_event_loop()
         self._conns: dict[str, _NodeConnection] = {}
         self._deliver_tasks: list[asyncio.Task] = []
@@ -200,10 +211,11 @@ class SocketTransport(Transport):
         profile: ClusterProfile,
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
         commit_timeout_s: float = DEFAULT_COMMIT_TIMEOUT_S,
+        telemetry=None,
     ) -> "SocketTransport":
         """Open request connections to every node and start deliver streams."""
 
-        transport = cls(profile, request_timeout_s, commit_timeout_s)
+        transport = cls(profile, request_timeout_s, commit_timeout_s, telemetry=telemetry)
         try:
             transport._run(transport._open_all())
         except BaseException:
@@ -343,6 +355,9 @@ class SocketTransport(Transport):
         client = channel.client(client_index)
         policy = channel.policy_for(chaincode)
         now = self.now
+        # Submit spans run on the client Telemetry's own wall clock (the
+        # transport's protocol ``now`` is a constant zero by design).
+        started = self.telemetry.now() if self.telemetry is not None else 0.0
         proposal = client.new_proposal(channel.name, chaincode, function, args, policy, now)
         endorsing_orgs = select_endorsing_orgs(policy, channel.org_names)
         peer_names = [self.profile.peers_of(org)[0].name for org in endorsing_orgs]
@@ -351,6 +366,7 @@ class SocketTransport(Transport):
         if isinstance(outcome, EndorsementRoundFailure):
             if on_endorsement_failure is not None:
                 on_endorsement_failure(proposal.tx_id, now)
+            self._record_submit(proposal.tx_id, started, "endorse_failed")
             return SubmittedTransaction(
                 self, proposal.tx_id, now, ordered=False, endorse_failure=outcome,
                 chaincode=chaincode, function=function,
@@ -358,17 +374,26 @@ class SocketTransport(Transport):
         envelope = outcome.envelope
         result_bytes = envelope.chaincode_result
         if envelope.rwset.is_read_only:
+            self._record_submit(proposal.tx_id, started, "read_only")
             return SubmittedTransaction(
                 self, proposal.tx_id, now, ordered=False, result_bytes=result_bytes,
                 chaincode=chaincode, function=function,
                 chaincode_event=envelope.event,
             )
         self._run(self._broadcast(envelope))
+        self._record_submit(proposal.tx_id, started, "ordered")
         return SubmittedTransaction(
             self, proposal.tx_id, now, result_bytes=result_bytes,
             chaincode=chaincode, function=function,
             chaincode_event=envelope.event,
         )
+
+    def _record_submit(self, tx_id: str, started: float, outcome: str) -> None:
+        if self.telemetry is not None:
+            record_phase(
+                self.telemetry, "submit", tx_id, started, self.telemetry.now(),
+                node="client", outcome=outcome,
+            )
 
     async def _broadcast(self, envelope: TransactionEnvelope) -> dict:
         try:
@@ -437,6 +462,45 @@ class SocketTransport(Transport):
         name = self.profile.peers[peer_index].name
         return self._run(self._request(name, {"type": "ledger_info"}, "ledger_info"))
 
+    def node_metrics(self, node: str, include_spans: bool = False) -> dict:
+        """One node's telemetry over the wire (``"orderer"`` or a peer name).
+
+        Returns the ``metrics_result`` payload: ``enabled`` (whether the
+        process runs with ``telemetry_enabled``), ``snapshot`` (its
+        registry, empty when disabled), and — with ``include_spans`` —
+        ``spans``, the node's recorded lifecycle spans.
+        """
+
+        request = {"type": "metrics"}
+        if include_spans:
+            request["include_spans"] = True
+        return self._run(self._request(node, request, "metrics"))
+
+    def cluster_metrics(self, include_spans: bool = False) -> dict[str, dict]:
+        """Every node's ``metrics_result``, keyed by node name.
+
+        The client's own registry (codec counters, when this transport was
+        given a Telemetry) rides along under ``"client"`` so one call
+        yields the whole cluster's observability state; merge the
+        snapshots with :func:`repro.telemetry.merge_snapshots` for a
+        cluster-wide registry view.
+        """
+
+        results = {"orderer": self.node_metrics("orderer", include_spans)}
+        for endpoint in self.profile.peers:
+            results[endpoint.name] = self.node_metrics(endpoint.name, include_spans)
+        if self.telemetry is not None:
+            payload = {
+                "type": "metrics_result",
+                "node": "client",
+                "enabled": True,
+                "snapshot": self.telemetry.metrics.snapshot(),
+            }
+            if include_spans:
+                payload["spans"] = [span.to_dict() for span in self.telemetry.spans]
+            results["client"] = payload
+        return results
+
     def wait_for_height(self, height: int, timeout_s: float = 30.0) -> None:
         """Block until every remote peer's ledger reaches ``height``."""
 
@@ -469,6 +533,9 @@ class SocketTransport(Transport):
 
         if self._closed:
             return
+        if self._codec_handle is not None:
+            uninstall_codec_metrics(self._codec_handle)
+            self._codec_handle = None
         for task in self._deliver_tasks:
             task.cancel()
         if self._deliver_tasks:

@@ -468,6 +468,8 @@ MESSAGE_TYPES = frozenset(
         "raw_block",
         "ledger_info",
         "ledger_info_result",
+        "metrics",
+        "metrics_result",
         "error",
     }
 )
@@ -484,3 +486,24 @@ def message_type(message: Any) -> str:
 
 def error_message(detail: str) -> dict:
     return {"type": "error", "error": detail}
+
+
+def metrics_result_message(telemetry: Any, node: str, request: dict) -> dict:
+    """The ``metrics_result`` reply for a node's (possibly absent) telemetry.
+
+    ``telemetry`` is the node's :class:`~repro.telemetry.Telemetry` or
+    ``None`` when the cluster ran without ``telemetry_enabled`` — the reply
+    then carries ``enabled: false`` and an empty snapshot rather than an
+    error, so clients can probe.  ``include_spans`` in the request adds the
+    node's recorded lifecycle spans (process-local clock).
+    """
+
+    payload: dict = {
+        "type": "metrics_result",
+        "node": node,
+        "enabled": telemetry is not None,
+        "snapshot": telemetry.metrics.snapshot() if telemetry else {"metrics": []},
+    }
+    if telemetry is not None and request.get("include_spans"):
+        payload["spans"] = [span.to_dict() for span in telemetry.spans]
+    return payload

@@ -16,28 +16,37 @@ from typing import Iterable, Optional
 
 @dataclass
 class TimeSeries:
-    """Append-only ``(time, value)`` samples with summary statistics."""
+    """Append-only ``(time, value)`` samples with summary statistics.
+
+    ``total`` and ``mean`` are O(1): a running sum is maintained by
+    ``record`` (and seeded from any ``values`` passed at construction),
+    so collectors can consult them per event without quadratic cost.
+    """
 
     name: str = "series"
     times: list[float] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._running_sum = float(sum(self.values))
 
     def record(self, time: float, value: float) -> None:
         if self.times and time < self.times[-1]:
             raise ValueError("samples must be recorded in time order")
         self.times.append(time)
         self.values.append(value)
+        self._running_sum += value
 
     def __len__(self) -> int:
         return len(self.values)
 
     @property
     def total(self) -> float:
-        return sum(self.values)
+        return self._running_sum
 
     @property
     def mean(self) -> Optional[float]:
-        return sum(self.values) / len(self.values) if self.values else None
+        return self._running_sum / len(self.values) if self.values else None
 
     @property
     def maximum(self) -> Optional[float]:

@@ -1,0 +1,146 @@
+"""Telemetry exporters: JSONL span/metric dumps and Prometheus text.
+
+All exporters are read-side only — they consume finished
+:class:`~repro.telemetry.spans.Span` lists and registry snapshots, so
+nothing here ever runs during an instrumented section.  Files are written
+with parents created and in deterministic order (spans in recording
+order, metrics sorted by name/labels), so dumps diff cleanly across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Optional
+
+from .spans import Span
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def write_spans_jsonl(path: "str | Path", spans: Iterable[Span]) -> Path:
+    """One span per line; returns the written path."""
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_dict(), sort_keys=True))
+            handle.write("\n")
+    return target
+
+
+def read_spans_jsonl(path: "str | Path") -> list[Span]:
+    """Load a span dump back (round-trips :func:`write_spans_jsonl`)."""
+
+    spans: list[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def write_metrics_jsonl(
+    path: "str | Path", snapshots: Mapping[str, dict]
+) -> Path:
+    """One ``{"node": ..., "snapshot": ...}`` line per node registry."""
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        for node in sorted(snapshots):
+            handle.write(
+                json.dumps({"node": node, "snapshot": snapshots[node]}, sort_keys=True)
+            )
+            handle.write("\n")
+    return target
+
+
+def read_metrics_jsonl(path: "str | Path") -> dict[str, dict]:
+    """``node -> snapshot`` from a metrics dump."""
+
+    snapshots: dict[str, dict] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                record = json.loads(line)
+                snapshots[record["node"]] = record["snapshot"]
+    return snapshots
+
+
+# -- Prometheus text format ----------------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_string(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(labels[name]))}"'
+        for name in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    snapshot: dict, extra_labels: Optional[Mapping[str, str]] = None
+) -> str:
+    """A registry snapshot in the Prometheus text exposition format.
+
+    ``extra_labels`` (e.g. ``{"node": "Org1.peer0"}``) are added to every
+    sample — how per-process snapshots stay distinguishable when several
+    render into one scrape page.
+    """
+
+    extra = dict(extra_labels or {})
+    lines: list[str] = []
+    for metric in snapshot.get("metrics", []):
+        name = metric["name"]
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} {metric['kind']}")
+        for sample in metric["samples"]:
+            labels = {**sample["labels"], **extra}
+            if metric["kind"] == "histogram":
+                cumulative = 0
+                bounds = [*metric["buckets"], float("inf")]
+                for bound, count in zip(bounds, sample["counts"]):
+                    cumulative += count
+                    le = "+Inf" if bound == float("inf") else _format_value(bound)
+                    lines.append(
+                        f"{name}_bucket{_label_string({**labels, 'le': le})}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_string(labels)} {_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_string(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_string(labels)} {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_prometheus_nodes(snapshots: Mapping[str, dict]) -> str:
+    """Render several node registries into one page, ``node``-labelled."""
+
+    pages = [
+        render_prometheus(snapshots[node], extra_labels={"node": node})
+        for node in sorted(snapshots)
+    ]
+    return "".join(pages)

@@ -1,0 +1,302 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Instrumented code talks to a :class:`MetricsRegistry`, which hands out
+named metric handles — the Prometheus data model, minus anything that
+could perturb the instrumented run:
+
+* recording is pure arithmetic on plain Python objects — no I/O, no
+  locks, no clock reads (histograms observe *durations the caller already
+  measured*, so the registry itself never samples time);
+* histograms use **fixed** bucket boundaries chosen at creation, so the
+  memory per metric is constant and snapshots from different processes
+  can be merged bucket-by-bucket;
+* every handle is label-aware (``counter.inc(peer="Org1.peer0")``), with
+  label sets stored as sorted tuples so snapshots serialize
+  deterministically.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain JSON-safe dicts —
+the wire ``metrics`` request ships them across processes, and the
+exporters in :mod:`repro.telemetry.export` render them to JSONL or
+Prometheus text format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+#: Default latency buckets (seconds): microseconds up to ten seconds.
+DEFAULT_SECONDS_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0
+)
+
+#: Default size buckets (counts: batch fill, keys per block, ...).
+DEFAULT_COUNT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    return tuple(sorted((str(name), str(value)) for name, value in labels.items()))
+
+
+class Metric:
+    """Base class: a named, labelled family of samples."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.help_text = help_text
+
+    def _sample_dicts(self) -> list[dict]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help_text,
+            "samples": self._sample_dicts(),
+        }
+
+
+class Counter(Metric):
+    """A monotonically increasing sum per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set (convenience for tests/reports)."""
+
+        return sum(self._values.values())
+
+    def _sample_dicts(self) -> list[dict]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(Metric):
+    """A value that can go up and down (queue depths, pending counts)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _sample_dicts(self) -> list[dict]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class _HistogramState:
+    """Per-label-set histogram accumulator: bucket counts + sum + count."""
+
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.counts = [0] * (num_buckets + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram (Prometheus semantics: cumulative on export)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(later <= earlier for earlier, later in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be non-empty and increasing")
+        self.buckets = bounds
+        self._states: dict[LabelKey, _HistogramState] = {}
+
+    def _state(self, labels: Mapping[str, str]) -> _HistogramState:
+        key = _label_key(labels)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState(len(self.buckets))
+        return state
+
+    def observe(self, value: float, **labels: str) -> None:
+        state = self._state(labels)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        state.counts[index] += 1
+        state.sum += value
+        state.count += 1
+
+    def count(self, **labels: str) -> int:
+        state = self._states.get(_label_key(labels))
+        return state.count if state is not None else 0
+
+    def total(self, **labels: str) -> float:
+        state = self._states.get(_label_key(labels))
+        return state.sum if state is not None else 0.0
+
+    def mean(self, **labels: str) -> Optional[float]:
+        state = self._states.get(_label_key(labels))
+        if state is None or state.count == 0:
+            return None
+        return state.sum / state.count
+
+    def _sample_dicts(self) -> list[dict]:
+        return [
+            {
+                "labels": dict(key),
+                "counts": list(state.counts),
+                "sum": state.sum,
+                "count": state.count,
+            }
+            for key, state in sorted(self._states.items())
+        ]
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["buckets"] = list(self.buckets)
+        return data
+
+
+class MetricsRegistry:
+    """A process's named metrics, created on first use.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking for
+    an existing name returns the existing handle (and raises if the kind
+    differs), so independent call sites can share one metric family.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help_text, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help_text, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every metric, deterministically ordered."""
+
+        return {
+            "metrics": [
+                self._metrics[name].to_dict() for name in sorted(self._metrics)
+            ]
+        }
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Merge registry snapshots from several processes into one.
+
+    Counters, gauges, and histogram states with the same (name, labels)
+    are summed — fixed buckets make histogram merging exact.  Used by the
+    socket transport to aggregate per-node registries into a cluster view.
+    """
+
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        for metric in snapshot.get("metrics", []):
+            name = metric["name"]
+            into = merged.setdefault(
+                name,
+                {
+                    "name": name,
+                    "kind": metric["kind"],
+                    "help": metric.get("help", ""),
+                    **({"buckets": metric["buckets"]} if "buckets" in metric else {}),
+                    "samples": [],
+                },
+            )
+            if into["kind"] != metric["kind"]:
+                raise ValueError(f"metric {name!r} has conflicting kinds across nodes")
+            by_labels = {
+                _label_key(sample["labels"]): sample for sample in into["samples"]
+            }
+            for sample in metric["samples"]:
+                key = _label_key(sample["labels"])
+                existing = by_labels.get(key)
+                if existing is None:
+                    copied = dict(sample)
+                    if "counts" in copied:
+                        copied["counts"] = list(copied["counts"])
+                    by_labels[key] = copied
+                elif "counts" in sample:
+                    existing["counts"] = [
+                        a + b for a, b in zip(existing["counts"], sample["counts"])
+                    ]
+                    existing["sum"] += sample["sum"]
+                    existing["count"] += sample["count"]
+                else:
+                    existing["value"] += sample["value"]
+            into["samples"] = [by_labels[key] for key in sorted(by_labels)]
+    return {"metrics": [merged[name] for name in sorted(merged)]}

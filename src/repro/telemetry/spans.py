@@ -1,0 +1,168 @@
+"""Lightweight tracing: spans with parent/child links on an injected clock.
+
+A :class:`Span` is a named interval ``[start, end]`` on *whatever clock
+the tracer was given* — the DES environment's virtual ``env.now`` in
+simulation runs, monotonic seconds since process start in socket runs.
+The tracer never reads a clock by itself except in the convenience
+context manager, and never draws randomness: sampling is a deterministic
+hash of the trace ID (:class:`HashSampler`), so enabling tracing cannot
+perturb an RNG-seeded run.
+
+Parent/child links are plain string IDs.  The transaction-lifecycle
+instrumentation (:mod:`repro.telemetry.lifecycle`) derives span IDs
+deterministically from ``(tx_id, phase, node)``, which is what lets spans
+recorded in *different processes* assemble into one tree client-side
+without propagating any context over the wire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+#: Default cap on retained spans per tracer; beyond it spans are counted
+#: as dropped instead of growing memory without bound.
+DEFAULT_MAX_SPANS = 200_000
+
+
+@dataclass
+class Span:
+    """One named interval of a trace."""
+
+    trace_id: str
+    name: str
+    span_id: str
+    parent_id: Optional[str] = None
+    node: str = ""
+    start: float = 0.0
+    end: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            trace_id=data["trace_id"],
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            node=data.get("node", ""),
+            start=float(data.get("start", 0.0)),
+            end=float(data.get("end", 0.0)),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class HashSampler:
+    """Deterministic trace sampling: a pure function of the trace ID.
+
+    Every process that hashes the same transaction ID makes the same
+    keep/drop decision, so a sampled transaction's spans are complete
+    across client, orderer, and every peer — with no RNG draw and no
+    sampling-decision propagation.
+    """
+
+    def __init__(self, rate: float = 1.0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("sample rate must be in [0, 1]")
+        self.rate = rate
+
+    def __call__(self, trace_id: str) -> bool:
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        digest = hashlib.sha256(trace_id.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64 < self.rate
+
+
+class Tracer:
+    """Collects spans against an injected clock."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        sampler: Optional[Callable[[str], bool]] = None,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        self._clock = clock
+        self._sampler = sampler if sampler is not None else HashSampler(1.0)
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+
+    def now(self) -> float:
+        return self._clock()
+
+    def sampled(self, trace_id: str) -> bool:
+        """Whether spans of this trace should be recorded."""
+
+        return self._sampler(trace_id)
+
+    def record(self, span: Span) -> Optional[Span]:
+        """Retain a fully built span (caller supplies start/end times)."""
+
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return None
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        node: str = "",
+        **attrs,
+    ) -> Iterator[Span]:
+        """Time a block of code on the tracer's clock (if sampled)."""
+
+        started = self._clock()
+        built = Span(
+            trace_id=trace_id,
+            name=name,
+            span_id=span_id if span_id is not None else f"{trace_id}:{name}",
+            parent_id=parent_id,
+            node=node,
+            start=started,
+            attrs=dict(attrs),
+        )
+        try:
+            yield built
+        finally:
+            built.end = self._clock()
+            if self.sampled(trace_id):
+                self.record(built)
+
+    def by_trace(self) -> dict[str, list[Span]]:
+        grouped: dict[str, list[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+    def clear(self) -> None:
+        self.spans = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -122,9 +122,17 @@ class Round:
 
 @dataclass
 class BenchmarkReport:
-    """Per-round results of one :class:`Benchmark` run."""
+    """Per-round results of one :class:`Benchmark` run.
+
+    ``telemetry`` holds one snapshot per round when the benchmark ran
+    with telemetry enabled: ``{"label", "metrics", "spans"}`` — the
+    round's registry snapshot and lifecycle spans (sim-clock), both
+    JSON-safe.  It stays empty (and out of ``to_dict``) otherwise, so
+    existing report artifacts are unchanged.
+    """
 
     results: list[BenchmarkResult] = field(default_factory=list)
+    telemetry: list[dict] = field(default_factory=list)
 
     def rows(self) -> list[dict]:
         """Figure-shaped rows (label / throughput / latency / successes)."""
@@ -134,10 +142,13 @@ class BenchmarkReport:
     def to_dict(self) -> dict:
         """Full serializable form: every metric of every round."""
 
-        return {
+        data = {
             "results": [result.to_dict() for result in self.results],
             "rows": self.rows(),
         }
+        if self.telemetry:
+            data["telemetry"] = self.telemetry
+        return data
 
     def by_label(self) -> dict[str, BenchmarkResult]:
         return {result.label: result for result in self.results}
@@ -147,6 +158,7 @@ def run_round(
     round_: Round,
     cost: Optional[CostModel] = None,
     max_sim_time: float = 1e7,
+    telemetry=None,
 ) -> BenchmarkResult:
     """Execute one round on a fresh network and return its metrics.
 
@@ -164,6 +176,11 @@ def run_round(
     rate = round_.resolved_rate()
     plan = generate_plan(round_.spec, rate=rate)
     populate_ledger(network, keys_to_populate(round_.spec, plan))
+
+    if telemetry is not None:
+        # After bootstrap so metrics cover the measured run only; spans
+        # ride the sim clock (see SimulatedNetwork.enable_telemetry).
+        network.enable_telemetry(telemetry)
 
     gateway = Gateway.connect(network)
     collector = MetricsCollector(env, expected=len(plan))
@@ -219,6 +236,7 @@ class Benchmark:
         cost: Optional[CostModel] = None,
         reporter: Optional[object] = None,
         max_sim_time: float = 1e7,
+        telemetry: bool = False,
     ) -> None:
         if not rounds:
             raise ValueError("a benchmark needs at least one round")
@@ -226,13 +244,34 @@ class Benchmark:
         self.cost = cost
         self.reporter = reporter
         self.max_sim_time = max_sim_time
+        self.telemetry = telemetry
 
     def run(self) -> BenchmarkReport:
         report = BenchmarkReport()
         for round_ in self.rounds:
+            round_telemetry = None
+            if self.telemetry:
+                from ..telemetry import Telemetry
+
+                round_telemetry = Telemetry()
             report.results.append(
-                run_round(round_, cost=self.cost, max_sim_time=self.max_sim_time)
+                run_round(
+                    round_,
+                    cost=self.cost,
+                    max_sim_time=self.max_sim_time,
+                    telemetry=round_telemetry,
+                )
             )
+            if round_telemetry is not None:
+                report.telemetry.append(
+                    {
+                        "label": round_.resolved_label(),
+                        "metrics": round_telemetry.metrics.snapshot(),
+                        "spans": [
+                            span.to_dict() for span in round_telemetry.spans
+                        ],
+                    }
+                )
         if self.reporter is not None:
             self.reporter.emit(report)
         return report

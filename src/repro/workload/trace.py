@@ -16,7 +16,7 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from ..common.types import TxStatus
+from ..common.types import TxStatus, ValidationCode
 
 TRACE_FIELDS = (
     "tx_id",
@@ -122,15 +122,51 @@ def queue_depth_estimate(
 
 
 def export_csv(path: "str | Path", statuses: Iterable[TxStatus]) -> int:
-    """Write the trace to ``path``; returns the number of rows written."""
+    """Write the trace to ``path``; returns the number of rows written.
 
+    Parent directories are created, so artifact paths like
+    ``out/traces/run1.csv`` work without setup.
+    """
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
     rows = trace_rows(statuses)
-    with open(path, "w", newline="", encoding="utf-8") as handle:
+    with open(target, "w", newline="", encoding="utf-8") as handle:
         writer = csv.DictWriter(handle, fieldnames=TRACE_FIELDS)
         writer.writeheader()
         for row in rows:
             writer.writerow(row)
     return len(rows)
+
+
+def import_csv(path: "str | Path") -> list[TxStatus]:
+    """Load an :func:`export_csv` trace back into :class:`TxStatus` objects.
+
+    ``succeeded`` and ``latency`` are derived properties of
+    :class:`TxStatus`, so only the stored fields are read — a round trip
+    re-derives them identically.
+    """
+
+    def opt_int(text: str) -> "int | None":
+        return int(text) if text else None
+
+    def opt_float(text: str) -> "float | None":
+        return float(text) if text else None
+
+    statuses: list[TxStatus] = []
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            statuses.append(
+                TxStatus(
+                    tx_id=row["tx_id"],
+                    code=ValidationCode[row["code"]],
+                    block_num=opt_int(row["block_num"]),
+                    tx_num=opt_int(row["tx_num"]),
+                    submit_time=opt_float(row["submit_time"]),
+                    commit_time=opt_float(row["commit_time"]),
+                )
+            )
+    return statuses
 
 
 def summarize_run(statuses_by_id: Mapping[str, TxStatus]) -> dict:

@@ -1,0 +1,78 @@
+"""DES integration: lifecycle completeness and the non-perturbation proof.
+
+A telemetry-enabled benchmark round must record every lifecycle phase of
+every transaction on the *simulation* clock, populate the node metric
+families, and — the load-bearing guarantee — leave the benchmark results
+byte-identical to a telemetry-off run of the same seed.
+"""
+
+import json
+
+import pytest
+
+from repro.common.config import fabriccrdt_config
+from repro.telemetry import PHASES, Span, complete_traces, phases_by_trace
+from repro.workload.runner import Benchmark, Round
+from repro.workload.spec import WorkloadSpec
+
+TOTAL_TXS = 20
+
+
+def run_benchmark(telemetry: bool):
+    spec = WorkloadSpec(total_transactions=TOTAL_TXS, rate_tps=200.0, seed=7)
+    rounds = [Round(spec, fabriccrdt_config(max_message_count=5))]
+    return Benchmark(rounds=rounds, telemetry=telemetry).run()
+
+
+@pytest.fixture(scope="module")
+def telemetry_report():
+    return run_benchmark(telemetry=True)
+
+
+@pytest.fixture(scope="module")
+def entry(telemetry_report):
+    [entry] = telemetry_report.telemetry
+    return entry
+
+
+def test_report_carries_one_telemetry_entry_per_round(telemetry_report, entry):
+    assert set(entry) == {"label", "metrics", "spans"}
+    assert entry["label"] == telemetry_report.results[0].label
+
+
+def test_every_transaction_has_all_six_phases(entry):
+    spans = [Span.from_dict(data) for data in entry["spans"]]
+    complete = complete_traces(spans)
+    assert len(complete) == TOTAL_TXS
+    for phases in phases_by_trace(spans).values():
+        assert set(PHASES) <= set(phases)
+
+
+def test_spans_ride_the_simulation_clock(entry, telemetry_report):
+    spans = [Span.from_dict(data) for data in entry["spans"]]
+    assert spans
+    # Virtual time: non-negative, well-formed intervals, within the run.
+    duration = telemetry_report.results[0].duration_s
+    for span in spans:
+        assert 0.0 <= span.start <= span.end <= duration + 1.0
+
+
+def test_node_metric_families_populated(entry):
+    names = {metric["name"] for metric in entry["metrics"]["metrics"]}
+    assert "repro_peer_proposals_total" in names
+    assert "repro_orderer_blocks_cut_total" in names
+    assert "repro_store_batch_writes_total" in names
+
+
+def test_telemetry_entry_is_json_safe(entry):
+    json.dumps(entry)
+
+
+def test_telemetry_does_not_perturb_the_benchmark(telemetry_report):
+    bare = run_benchmark(telemetry=False)
+    assert not bare.telemetry
+    instrumented = dict(telemetry_report.to_dict())
+    instrumented.pop("telemetry")
+    assert json.dumps(instrumented, sort_keys=True) == json.dumps(
+        bare.to_dict(), sort_keys=True
+    )

@@ -1,0 +1,117 @@
+"""Exporters: JSONL round-trips and the Prometheus text renderer."""
+
+import json
+
+from repro.telemetry import MetricsRegistry, Span, merge_snapshots
+from repro.telemetry.export import (
+    read_metrics_jsonl,
+    read_spans_jsonl,
+    render_prometheus,
+    render_prometheus_nodes,
+    write_metrics_jsonl,
+    write_spans_jsonl,
+)
+
+
+def sample_spans():
+    return [
+        Span("tx1", "submit", "tx1:submit", node="client", start=0.0, end=1.0),
+        Span(
+            "tx1",
+            "endorse",
+            "tx1:endorse:p0",
+            parent_id="tx1:submit",
+            node="p0",
+            start=0.1,
+            end=0.2,
+            attrs={"ok": True},
+        ),
+    ]
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_txs_total", "transactions").inc(3, peer="p0")
+    registry.gauge("repro_pending").set(2)
+    registry.histogram("repro_latency_seconds", buckets=(0.1, 1.0)).observe(0.5)
+    return registry
+
+
+class TestJsonl:
+    def test_spans_round_trip_through_nested_path(self, tmp_path):
+        path = tmp_path / "out" / "deep" / "spans.jsonl"
+        written = write_spans_jsonl(path, sample_spans())
+        assert written == path and path.exists()
+        assert read_spans_jsonl(path) == sample_spans()
+
+    def test_span_lines_are_one_json_object_each(self, tmp_path):
+        path = write_spans_jsonl(tmp_path / "spans.jsonl", sample_spans())
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["span_id"] == "tx1:submit"
+
+    def test_metrics_round_trip_node_keyed(self, tmp_path):
+        snapshots = {"p0": sample_registry().snapshot(), "orderer": {"metrics": []}}
+        path = write_metrics_jsonl(tmp_path / "out" / "metrics.jsonl", snapshots)
+        assert read_metrics_jsonl(path) == snapshots
+
+    def test_metrics_lines_sorted_by_node(self, tmp_path):
+        path = write_metrics_jsonl(
+            tmp_path / "metrics.jsonl",
+            {"zeta": {"metrics": []}, "alpha": {"metrics": []}},
+        )
+        nodes = [json.loads(line)["node"] for line in path.read_text().splitlines()]
+        assert nodes == ["alpha", "zeta"]
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        page = render_prometheus(sample_registry().snapshot())
+        assert "# TYPE repro_txs_total counter" in page
+        assert 'repro_txs_total{peer="p0"} 3' in page
+        assert "# TYPE repro_pending gauge" in page
+        assert "repro_pending 2" in page
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        page = render_prometheus(sample_registry().snapshot())
+        assert 'repro_latency_seconds_bucket{le="0.1"} 0' in page
+        assert 'repro_latency_seconds_bucket{le="1"} 1' in page
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 1' in page
+        assert "repro_latency_seconds_sum 0.5" in page
+        assert "repro_latency_seconds_count 1" in page
+
+    def test_help_line_rendered_when_present(self):
+        page = render_prometheus(sample_registry().snapshot())
+        assert "# HELP repro_txs_total transactions" in page
+
+    def test_extra_labels_reach_every_sample(self):
+        page = render_prometheus(
+            sample_registry().snapshot(), extra_labels={"node": "p0"}
+        )
+        assert 'repro_txs_total{node="p0",peer="p0"} 3' in page
+        assert 'repro_pending{node="p0"} 2' in page
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(reason='say "hi"\n')
+        page = render_prometheus(registry.snapshot())
+        assert 'c{reason="say \\"hi\\"\\n"} 1' in page
+
+    def test_empty_snapshot_renders_empty_page(self):
+        assert render_prometheus({"metrics": []}) == ""
+
+    def test_nodes_page_is_node_labelled_and_sorted(self):
+        page = render_prometheus_nodes(
+            {"p1": sample_registry().snapshot(), "p0": sample_registry().snapshot()}
+        )
+        p0 = page.index('node="p0"')
+        p1 = page.index('node="p1"')
+        assert p0 < p1
+
+    def test_merged_page_equals_per_event_registry(self):
+        merged = merge_snapshots(
+            [sample_registry().snapshot(), sample_registry().snapshot()]
+        )
+        page = render_prometheus(merged)
+        assert 'repro_txs_total{peer="p0"} 6' in page
+        assert "repro_latency_seconds_count 2" in page

@@ -1,0 +1,139 @@
+"""Lifecycle span convention: IDs, parent links, trees, breakdowns."""
+
+import pytest
+
+from repro.telemetry import (
+    NODE_PHASES,
+    PHASES,
+    PHASE_PARENT,
+    Span,
+    Telemetry,
+    complete_traces,
+    format_breakdown,
+    format_span_tree,
+    lifecycle_parent_id,
+    lifecycle_span_id,
+    phase_breakdown,
+    phases_by_trace,
+    record_phase,
+    span_tree,
+)
+
+
+def record_full_trace(telemetry, tx_id, peers=("p0",)):
+    """One transaction's complete six-phase span set across ``peers``."""
+
+    record_phase(telemetry, "submit", tx_id, 0.0, 1.0, node="client")
+    for peer in peers:
+        record_phase(telemetry, "endorse", tx_id, 0.1, 0.2, node=peer)
+    record_phase(telemetry, "order", tx_id, 0.3, 0.5, node="orderer")
+    for peer in peers:
+        record_phase(telemetry, "deliver", tx_id, 0.6, 0.6, node=peer)
+        record_phase(telemetry, "validate", tx_id, 0.6, 0.8, node=peer)
+        record_phase(telemetry, "apply", tx_id, 0.8, 0.9, node=peer)
+
+
+class TestSpanIds:
+    def test_per_trace_phases_have_no_node_suffix(self):
+        assert lifecycle_span_id("tx1", "submit") == "tx1:submit"
+        assert lifecycle_span_id("tx1", "order") == "tx1:order"
+
+    def test_per_node_phases_embed_the_node(self):
+        for phase in sorted(NODE_PHASES):
+            assert lifecycle_span_id("tx1", phase, "p0") == f"tx1:{phase}:p0"
+
+    def test_per_node_phase_requires_node(self):
+        with pytest.raises(ValueError):
+            lifecycle_span_id("tx1", "endorse")
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            lifecycle_span_id("tx1", "gossip")
+
+    def test_parent_chain_matches_phase_parent(self):
+        assert lifecycle_parent_id("tx1", "submit") is None
+        assert lifecycle_parent_id("tx1", "endorse", "p0") == "tx1:submit"
+        assert lifecycle_parent_id("tx1", "order") == "tx1:submit"
+        assert lifecycle_parent_id("tx1", "deliver", "p0") == "tx1:order"
+        # deliver → validate → apply chain stays on the same peer.
+        assert lifecycle_parent_id("tx1", "validate", "p0") == "tx1:deliver:p0"
+        assert lifecycle_parent_id("tx1", "apply", "p0") == "tx1:validate:p0"
+
+    def test_every_phase_has_a_parent_rule(self):
+        assert set(PHASE_PARENT) == set(PHASES)
+
+
+class TestRecordPhase:
+    def test_none_telemetry_is_a_no_op(self):
+        assert record_phase(None, "submit", "tx1", 0.0, 1.0) is None
+
+    def test_unsampled_trace_records_nothing(self):
+        telemetry = Telemetry(sample_rate=0.0)
+        assert record_phase(telemetry, "submit", "tx1", 0.0, 1.0) is None
+        assert telemetry.spans == []
+
+    def test_recorded_span_carries_ids_times_attrs(self):
+        telemetry = Telemetry()
+        span = record_phase(
+            telemetry, "validate", "tx1", 1.0, 2.0, node="p0", code="VALID"
+        )
+        assert span is telemetry.spans[0]
+        assert span.span_id == "tx1:validate:p0"
+        assert span.parent_id == "tx1:deliver:p0"
+        assert (span.start, span.end) == (1.0, 2.0)
+        assert span.attrs == {"code": "VALID"}
+
+
+class TestAssembly:
+    def test_complete_traces_requires_every_phase(self):
+        telemetry = Telemetry()
+        record_full_trace(telemetry, "tx1")
+        record_phase(telemetry, "submit", "tx2", 0.0, 1.0)  # incomplete
+        assert complete_traces(telemetry.spans) == ["tx1"]
+
+    def test_phases_by_trace_groups_by_phase(self):
+        telemetry = Telemetry()
+        record_full_trace(telemetry, "tx1", peers=("p0", "p1"))
+        grouped = phases_by_trace(telemetry.spans)
+        assert set(grouped) == {"tx1"}
+        assert len(grouped["tx1"]["endorse"]) == 2
+        assert len(grouped["tx1"]["order"]) == 1
+
+    def test_span_tree_depths_follow_the_pipeline(self):
+        telemetry = Telemetry()
+        record_full_trace(telemetry, "tx1")
+        depths = {span.name: depth for depth, span in span_tree(telemetry.spans, "tx1")}
+        assert depths == {
+            "submit": 0,
+            "endorse": 1,
+            "order": 1,
+            "deliver": 2,
+            "validate": 3,
+            "apply": 4,
+        }
+
+    def test_span_tree_roots_orphans_so_partial_traces_render(self):
+        # An unsampled/missing parent must not hide the child spans.
+        spans = [
+            Span("tx1", "validate", "tx1:validate:p0", parent_id="tx1:deliver:p0",
+                 node="p0", start=0.5, end=0.8),
+        ]
+        rows = span_tree(spans, "tx1")
+        assert [(depth, span.name) for depth, span in rows] == [(0, "validate")]
+
+    def test_format_span_tree_mentions_every_phase(self):
+        telemetry = Telemetry()
+        record_full_trace(telemetry, "tx1")
+        rendered = format_span_tree(telemetry.spans, "tx1")
+        assert rendered.startswith("trace tx1")
+        for phase in PHASES:
+            assert phase in rendered
+
+    def test_phase_breakdown_counts_and_durations(self):
+        telemetry = Telemetry()
+        record_full_trace(telemetry, "tx1", peers=("p0", "p1"))
+        breakdown = phase_breakdown(telemetry.spans)
+        assert breakdown["endorse"]["count"] == 2
+        assert breakdown["order"]["mean"] == pytest.approx(0.2)
+        rendered = format_breakdown(breakdown)
+        assert "endorse" in rendered and "ms" in rendered

@@ -1,0 +1,180 @@
+"""Metrics registry: counter/gauge/histogram semantics and merging."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("txs_total")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_label_sets_are_independent(self):
+        counter = Counter("txs_total")
+        counter.inc(peer="p0")
+        counter.inc(3, peer="p1")
+        assert counter.value(peer="p0") == 1.0
+        assert counter.value(peer="p1") == 3.0
+        assert counter.value(peer="p2") == 0.0
+        assert counter.total() == 4.0
+
+    def test_label_order_does_not_matter(self):
+        counter = Counter("txs_total")
+        counter.inc(a="1", b="2")
+        counter.inc(b="2", a="1")
+        assert counter.value(b="2", a="1") == 2.0
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("txs_total").inc(-1)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Counter("")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("queue_depth")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(4)
+        assert gauge.value() == 3.0
+
+    def test_can_go_negative(self):
+        gauge = Gauge("drift")
+        gauge.dec(1.5)
+        assert gauge.value() == -1.5
+
+
+class TestHistogram:
+    def test_rejects_empty_and_non_increasing_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_accepts_increasing_buckets(self):
+        # Regression: the validation must not reject valid increasing bounds.
+        Histogram("h", buckets=(0.1, 0.5, 1.0))
+        Histogram("h2", buckets=DEFAULT_SECONDS_BUCKETS)
+        Histogram("h3", buckets=DEFAULT_COUNT_BUCKETS)
+
+    def test_observations_land_in_first_fitting_bucket(self):
+        histogram = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 5.0, 100.0):
+            histogram.observe(value)
+        [sample] = histogram.to_dict()["samples"]
+        # le=0.1 gets 0.05 and the boundary-equal 0.1; +Inf gets 100.0.
+        assert sample["counts"] == [2, 1, 1, 1]
+        assert sample["count"] == 5
+        assert sample["sum"] == pytest.approx(105.65)
+
+    def test_count_total_mean(self):
+        histogram = Histogram("lat", buckets=(1.0,))
+        assert histogram.count() == 0
+        assert histogram.mean() is None
+        histogram.observe(2.0, peer="p0")
+        histogram.observe(4.0, peer="p0")
+        assert histogram.count(peer="p0") == 2
+        assert histogram.total(peer="p0") == 6.0
+        assert histogram.mean(peer="p0") == 3.0
+
+    def test_to_dict_carries_bucket_bounds(self):
+        histogram = Histogram("lat", buckets=(0.5, 2.0))
+        assert histogram.to_dict()["buckets"] == [0.5, 2.0]
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_handle(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+
+    def test_snapshot_is_sorted_and_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc(peer="p1")
+        registry.histogram("mid", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        names = [metric["name"] for metric in snapshot["metrics"]]
+        assert names == ["alpha", "mid", "zeta"]
+        json.dumps(snapshot)  # must not raise
+
+    def test_names_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert registry.names() == ("a", "b")
+        assert len(registry) == 2
+        assert registry.get("a") is not None
+        assert registry.get("missing") is None
+
+
+class TestMergeSnapshots:
+    def _registry(self, counter_by_peer, observations):
+        registry = MetricsRegistry()
+        for peer, amount in counter_by_peer.items():
+            registry.counter("txs_total").inc(amount, peer=peer)
+        histogram = registry.histogram("lat", buckets=(1.0, 10.0))
+        for value in observations:
+            histogram.observe(value)
+        return registry
+
+    def test_merge_sums_counters_and_histograms_exactly(self):
+        a = self._registry({"p0": 2}, [0.5, 5.0])
+        b = self._registry({"p0": 3, "p1": 1}, [0.5, 50.0])
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        by_name = {metric["name"]: metric for metric in merged["metrics"]}
+
+        counter_samples = {
+            tuple(s["labels"].items()): s["value"]
+            for s in by_name["txs_total"]["samples"]
+        }
+        assert counter_samples == {(("peer", "p0"),): 5.0, (("peer", "p1"),): 1.0}
+
+        [hist] = by_name["lat"]["samples"]
+        assert hist["counts"] == [2, 1, 1]
+        assert hist["count"] == 4
+        assert hist["sum"] == pytest.approx(56.0)
+        assert by_name["lat"]["buckets"] == [1.0, 10.0]
+
+    def test_merge_equals_single_registry_with_all_events(self):
+        a = self._registry({"p0": 1}, [0.2])
+        b = self._registry({"p1": 2}, [3.0])
+        combined = self._registry({"p0": 1, "p1": 2}, [0.2, 3.0])
+        assert merge_snapshots([a.snapshot(), b.snapshot()]) == combined.snapshot()
+
+    def test_merge_rejects_kind_conflicts(self):
+        a = MetricsRegistry()
+        a.counter("m").inc()
+        b = MetricsRegistry()
+        b.gauge("m").set(1)
+        with pytest.raises(ValueError):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots([]) == {"metrics": []}

@@ -1,0 +1,121 @@
+"""Spans, tracer, and the deterministic hash sampler."""
+
+import pytest
+
+from repro.telemetry import HashSampler, Span, Telemetry, Tracer
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestSpan:
+    def test_duration(self):
+        span = Span("t1", "endorse", "t1:endorse:p0", start=1.0, end=1.5)
+        assert span.duration == pytest.approx(0.5)
+
+    def test_dict_round_trip(self):
+        span = Span(
+            trace_id="t1",
+            name="order",
+            span_id="t1:order",
+            parent_id="t1:submit",
+            node="orderer",
+            start=2.0,
+            end=3.0,
+            attrs={"block": 4},
+        )
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_from_dict_defaults_optional_fields(self):
+        span = Span.from_dict({"trace_id": "t", "name": "submit", "span_id": "t:submit"})
+        assert span.parent_id is None
+        assert span.node == ""
+        assert span.attrs == {}
+
+
+class TestHashSampler:
+    def test_rate_bounds_validated(self):
+        with pytest.raises(ValueError):
+            HashSampler(-0.1)
+        with pytest.raises(ValueError):
+            HashSampler(1.1)
+
+    def test_rate_one_keeps_everything_rate_zero_nothing(self):
+        ids = [f"tx{i}" for i in range(50)]
+        assert all(HashSampler(1.0)(tx) for tx in ids)
+        assert not any(HashSampler(0.0)(tx) for tx in ids)
+
+    def test_deterministic_across_instances(self):
+        # Every process hashing the same ID makes the same decision — the
+        # property cross-process trace assembly relies on.
+        a, b = HashSampler(0.5), HashSampler(0.5)
+        ids = [f"tx{i}" for i in range(200)]
+        assert [a(tx) for tx in ids] == [b(tx) for tx in ids]
+
+    def test_rate_roughly_honoured(self):
+        kept = sum(HashSampler(0.5)(f"tx{i}") for i in range(1000))
+        assert 350 < kept < 650
+
+
+class TestTracer:
+    def test_span_context_manager_times_on_injected_clock(self):
+        clock = FakeClock(10.0)
+        tracer = Tracer(clock)
+        with tracer.span("endorse", "tx1", node="p0", ok=True) as span:
+            clock.now = 10.25
+        assert len(tracer) == 1
+        assert span.start == 10.0
+        assert span.end == 10.25
+        assert span.span_id == "tx1:endorse"
+        assert span.attrs == {"ok": True}
+
+    def test_unsampled_traces_are_not_recorded(self):
+        tracer = Tracer(FakeClock(), sampler=lambda tx: False)
+        with tracer.span("submit", "tx1"):
+            pass
+        assert len(tracer) == 0
+
+    def test_max_spans_caps_retention_and_counts_drops(self):
+        tracer = Tracer(FakeClock(), max_spans=2)
+        for i in range(4):
+            tracer.record(Span(f"t{i}", "submit", f"t{i}:submit"))
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+
+    def test_by_trace_groups_and_clear_resets(self):
+        tracer = Tracer(FakeClock(), max_spans=1)
+        tracer.record(Span("t1", "submit", "t1:submit"))
+        tracer.record(Span("t2", "submit", "t2:submit"))  # dropped (cap)
+        assert set(tracer.by_trace()) == {"t1"}
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+
+class TestTelemetry:
+    def test_default_clock_is_monotonic_since_creation(self):
+        telemetry = Telemetry()
+        first = telemetry.now()
+        assert first >= 0.0
+        assert telemetry.now() >= first
+
+    def test_bind_clock_repoints_tracer_time(self):
+        telemetry = Telemetry()
+        clock = FakeClock(42.0)
+        telemetry.bind_clock(clock)
+        assert telemetry.now() == 42.0
+        with telemetry.tracer.span("submit", "tx1") as span:
+            clock.now = 43.0
+        assert (span.start, span.end) == (42.0, 43.0)
+
+    def test_facade_shares_one_context(self):
+        telemetry = Telemetry(sample_rate=0.0)
+        assert telemetry.tracer.sampled("tx1") is False
+        telemetry.metrics.counter("c").inc()
+        assert "spans=0" in repr(telemetry) and "metrics=1" in repr(telemetry)
+        assert telemetry.spans is telemetry.tracer.spans

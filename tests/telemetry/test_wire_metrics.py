@@ -1,0 +1,87 @@
+"""The out-of-band metrics surface of the wire layer.
+
+Unit-level: the ``metrics_result`` reply builder and the codec's frame
+counters.  The end-to-end path (live cluster answering ``metrics`` over a
+socket) is exercised by the socket smoke run and ``examples/telemetry_tour``.
+"""
+
+import asyncio
+
+from repro.net.codec import (
+    encode_message,
+    install_codec_metrics,
+    read_message,
+    uninstall_codec_metrics,
+)
+from repro.net.wire import MESSAGE_TYPES, metrics_result_message
+from repro.telemetry import MetricsRegistry, Telemetry, record_phase
+
+
+def read_one(data: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_message(reader)
+
+    return asyncio.run(go())
+
+
+class TestMetricsResultMessage:
+    def test_message_types_include_the_metrics_pair(self):
+        assert "metrics" in MESSAGE_TYPES
+        assert "metrics_result" in MESSAGE_TYPES
+
+    def test_disabled_node_answers_with_empty_snapshot_not_error(self):
+        reply = metrics_result_message(None, "Org1.peer0", {"type": "metrics"})
+        assert reply["type"] == "metrics_result"
+        assert reply["node"] == "Org1.peer0"
+        assert reply["enabled"] is False
+        assert reply["snapshot"] == {"metrics": []}
+        assert "spans" not in reply
+
+    def test_enabled_node_ships_its_registry(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("repro_peer_proposals_total").inc(2)
+        reply = metrics_result_message(telemetry, "Org1.peer0", {"type": "metrics"})
+        assert reply["enabled"] is True
+        assert reply["snapshot"] == telemetry.metrics.snapshot()
+        assert "spans" not in reply
+
+    def test_include_spans_adds_recorded_spans(self):
+        telemetry = Telemetry()
+        record_phase(telemetry, "endorse", "tx1", 0.1, 0.2, node="Org1.peer0")
+        reply = metrics_result_message(
+            telemetry, "Org1.peer0", {"type": "metrics", "include_spans": True}
+        )
+        assert reply["spans"] == [span.to_dict() for span in telemetry.spans]
+
+
+class TestCodecCounters:
+    def test_frames_and_bytes_counted_while_installed(self):
+        registry = MetricsRegistry()
+        handle = install_codec_metrics(registry, node="client")
+        try:
+            data = encode_message({"type": "ping"})
+            assert read_one(data) == {"type": "ping"}
+            frames = registry.counter("repro_net_frames_total")
+            total_bytes = registry.counter("repro_net_bytes_total")
+            assert frames.value(direction="in", node="client") == 1
+            assert total_bytes.value(direction="in", node="client") == len(data)
+        finally:
+            uninstall_codec_metrics(handle)
+
+    def test_uninstalled_sink_stops_counting(self):
+        registry = MetricsRegistry()
+        handle = install_codec_metrics(registry, node="client")
+        uninstall_codec_metrics(handle)
+        read_one(encode_message({"type": "ping"}))
+        assert registry.counter("repro_net_frames_total").value(
+            direction="in", node="client"
+        ) == 0
+
+    def test_uninstall_is_idempotent(self):
+        registry = MetricsRegistry()
+        handle = install_codec_metrics(registry)
+        uninstall_codec_metrics(handle)
+        uninstall_codec_metrics(handle)  # must not raise
